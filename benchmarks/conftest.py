@@ -1,0 +1,27 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one paper artefact (table or figure) through
+:mod:`repro.experiments` and prints it in the paper's layout, so a
+``pytest benchmarks/ --benchmark-only -s`` run doubles as the full
+reproduction report.  Scale is controlled by ``REPRO_BENCH_SCALE``
+(default 0.5; use 1.0 to regenerate EXPERIMENTS.md exactly).
+
+Heavy experiment drivers run with ``benchmark.pedantic(rounds=1)``: the
+interesting number is the artefact itself plus a single honest wall-clock
+measurement, not a statistically sampled microsecond distribution.
+"""
+
+import pytest
+
+from repro.experiments import bench_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The shared experiment configuration (env-scalable)."""
+    return bench_config()
+
+
+def emit(text: str) -> None:
+    """Print a rendered artefact, flush-through, set off by blank lines."""
+    print("\n" + text + "\n", flush=True)

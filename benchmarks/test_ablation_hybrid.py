@@ -1,0 +1,39 @@
+"""Bench A-2 — ablation: landmark seeding policy (hybrid motivation).
+
+With the SumDiff scoring norm held fixed, compares random landmarks
+against MaxMin- and MaxAvg-dispersed landmarks across the budget sweep.
+The hybrid claim is about *small* budgets: dispersion-seeded landmarks
+are themselves useful candidates, so the hybrids should not trail the
+random-seeded variant early in the sweep.
+"""
+
+import numpy as np
+
+from repro.experiments import ablations
+
+from conftest import emit
+
+
+def test_ablation_landmark_seeding(benchmark, config):
+    result = benchmark.pedantic(
+        ablations.run_landmark_seeding, args=(config,), rounds=1, iterations=1
+    )
+    emit(ablations.render_landmark_seeding(result))
+
+    assert set(result.curves) == {"random", "MaxMin", "MaxAvg"}
+    for series in result.curves.values():
+        assert len(series) == len(config.budget_sweep)
+        assert all(0.0 <= v <= 1.0 for _, v in series)
+
+    # Small-budget comparison (first half of the sweep).
+    half = max(1, len(config.budget_sweep) // 2)
+    early = {
+        label: float(np.mean([c for _, c in series[:half]]))
+        for label, series in result.curves.items()
+    }
+    emit(
+        "early-budget mean coverage: "
+        + ", ".join(f"{k}={100 * v:.1f}%" for k, v in early.items())
+    )
+    best_hybrid = max(early["MaxMin"], early["MaxAvg"])
+    assert best_hybrid >= early["random"] - 0.15

@@ -1,0 +1,32 @@
+"""Bench A-1 — ablation: number of landmarks l.
+
+The paper fixes l = 10 and reports that more landmarks did not help.
+This ablation sweeps l for SumDiff and MMSD at the fixed budget; the
+assertion is the paper's: coverage at large l is not meaningfully better
+than at l = 10 (at fixed m, extra landmarks also crowd out score-ranked
+candidates).
+"""
+
+from repro.experiments import ablations
+
+from conftest import emit
+
+
+def test_ablation_landmark_count(benchmark, config):
+    result = benchmark.pedantic(
+        ablations.run_landmark_count,
+        args=(config,),
+        kwargs={"landmark_counts": (2, 5, 10, 15, 20)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(ablations.render_landmark_count(result))
+
+    for name in ("SumDiff", "MMSD"):
+        at_10 = result.coverage[(name, 10)]
+        at_20 = result.coverage[(name, 20)]
+        assert at_20 <= at_10 + 0.15, (
+            f"{name}: l=20 unexpectedly dominates l=10 "
+            f"({at_20:.2f} vs {at_10:.2f})"
+        )
+    assert all(0.0 <= v <= 1.0 for v in result.coverage.values())

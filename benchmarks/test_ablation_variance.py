@@ -1,0 +1,33 @@
+"""Bench A-6 — seed stability of the randomised selectors.
+
+The paper reports point estimates per algorithm; this bench quantifies
+how much landmark-sampling randomness moves coverage at the fixed
+budget.  The actionable shape: the best selectors are *stable* — their
+spread is small relative to the gaps between algorithm families.
+"""
+
+import numpy as np
+
+from repro.experiments import ablations
+
+from conftest import emit
+
+
+def test_ablation_seed_variance(benchmark, config):
+    rows = benchmark.pedantic(
+        ablations.run_seed_variance,
+        args=(config,),
+        kwargs={"num_seeds": 8},
+        rounds=1,
+        iterations=1,
+    )
+    emit(ablations.render_seed_variance(rows))
+
+    assert rows
+    for r in rows:
+        assert 0.0 <= r.minimum <= r.mean <= r.maximum <= 1.0
+        assert r.std >= 0.0
+    # Median spread stays moderate: randomness does not dominate the
+    # algorithm comparisons the tables rest on.
+    spreads = sorted(r.maximum - r.minimum for r in rows)
+    assert spreads[len(spreads) // 2] <= 0.5

@@ -1,0 +1,28 @@
+"""Bench E-X4 — the budgeted pipeline on a weighted latency topology.
+
+The problem definition covers weighted graphs; the paper's evaluation
+does not exercise them.  This bench runs the full Dijkstra-based
+pipeline on the weighted internet analogue and asserts the landmark
+family still delivers.
+"""
+
+from repro.experiments import extensions
+
+from conftest import emit
+
+
+def test_extension_weighted_pipeline(benchmark, config):
+    result = benchmark.pedantic(
+        extensions.run_weighted_pipeline, args=(config,),
+        rounds=1, iterations=1,
+    )
+    emit(extensions.render_weighted_pipeline(result))
+
+    assert result.k > 0
+    assert all(0.0 <= v <= 1.0 for v in result.coverage.values())
+    # The landmark family generalises to weighted distances.
+    best_landmark = max(
+        result.coverage["SumDiff"], result.coverage["MMSD"],
+        result.coverage["MaxAvg"],
+    )
+    assert best_landmark >= 0.5

@@ -1,0 +1,54 @@
+"""Bench E-F1 — regenerate Figure 1 (coverage vs budget, landmark family).
+
+Sweeps the budget for SumDiff/MaxDiff and the four hybrids on every
+dataset and asserts the paper's curve shapes.
+"""
+
+import numpy as np
+
+from repro.experiments import figure1
+
+from conftest import emit
+
+
+def _final(series):
+    return series[-1][1]
+
+
+def _auc(series):
+    return float(np.mean([c for _, c in series]))
+
+
+def test_figure1_budget_curves(benchmark, config):
+    result = benchmark.pedantic(
+        figure1.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(figure1.render(result))
+
+    for dataset, series in result.curves.items():
+        for name, curve in series.items():
+            assert len(curve) == len(config.budget_sweep)
+            values = [c for _, c in curve]
+            assert all(0.0 <= v <= 1.0 for v in values)
+            # Averaged curves grow with budget up to noise.
+            assert values[-1] >= values[0] - 0.1, (dataset, name)
+
+    # Paper shape: SumDiff-normed curves dominate MaxDiff-normed ones in
+    # area-under-curve, aggregated over datasets.
+    sd = np.mean([
+        _auc(series["SumDiff"]) + _auc(series["MMSD"]) + _auc(series["MASD"])
+        for series in result.curves.values()
+    ])
+    md = np.mean([
+        _auc(series["MaxDiff"]) + _auc(series["MMMD"]) + _auc(series["MAMD"])
+        for series in result.curves.values()
+    ])
+    assert sd >= md - 0.1
+
+    # Paper shape: the best hybrid reaches high coverage by the end of
+    # the sweep on most datasets.
+    finals = [
+        max(_final(series[n]) for n in ("MMSD", "MASD", "MMMD", "MAMD"))
+        for series in result.curves.values()
+    ]
+    assert sorted(finals)[len(finals) // 2] >= 0.5  # median dataset

@@ -1,0 +1,41 @@
+"""Bench E-F2 — regenerate Figure 2 (candidate-quality diagnostics).
+
+On the Facebook-like dataset: the fraction of generated candidates that
+are (a) endpoints of ``G^p_k`` and (b) members of the greedy cover, as
+the budget grows.
+"""
+
+import numpy as np
+
+from repro.experiments import figure2
+
+from conftest import emit
+
+
+def test_figure2_candidate_quality(benchmark, config):
+    result = benchmark.pedantic(
+        figure2.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(figure2.render(result))
+
+    for curves in (result.endpoint_curves, result.cover_curves):
+        for name, series in curves.items():
+            assert len(series) == len(config.budget_sweep)
+            assert all(0.0 <= v <= 1.0 for _, v in series)
+
+    # Cover membership implies endpoint membership, so panel (b) can
+    # never exceed panel (a) at the same budget.
+    for name in result.endpoint_curves:
+        for (m1, a), (m2, b) in zip(
+            result.endpoint_curves[name], result.cover_curves[name]
+        ):
+            assert m1 == m2
+            assert b <= a + 1e-9
+
+    # Paper shape: algorithms that find candidates at all do place some
+    # of them inside the pair graph.
+    best_endpoint = max(
+        np.mean([v for _, v in series])
+        for series in result.endpoint_curves.values()
+    )
+    assert best_endpoint > 0.0

@@ -1,0 +1,41 @@
+"""Bench E-F3 — regenerate Figure 3 (classifiers vs best single algorithm).
+
+Trains the local classifier per dataset and the pooled global classifier
+(on the disjoint 20%/40% split), then sweeps the budget against each
+dataset's best single-feature algorithm.
+"""
+
+import numpy as np
+
+from repro.experiments import figure3
+
+from conftest import emit
+
+
+def _auc(series):
+    return float(np.mean([c for _, c in series]))
+
+
+def test_figure3_classifiers(benchmark, config):
+    result = benchmark.pedantic(
+        figure3.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(figure3.render(result))
+
+    ratios = []
+    for dataset, series in result.curves.items():
+        best_name = result.best_algorithm[dataset]
+        best_auc = _auc(series[best_name])
+        clf_auc = max(_auc(series["L-Classifier"]), _auc(series["G-Classifier"]))
+        if best_auc > 0:
+            ratios.append(clf_auc / best_auc)
+
+    emit(
+        "classifier-vs-best AUC ratios: "
+        + ", ".join(f"{r:.2f}" for r in ratios)
+    )
+    # Paper shape: the classifiers "catch up with the best algorithm" —
+    # on the median dataset the better classifier reaches a large
+    # fraction of the per-dataset best's area under the curve.
+    assert ratios
+    assert sorted(ratios)[len(ratios) // 2] >= 0.5

@@ -1,0 +1,63 @@
+"""Micro-benchmarks: dict BFS vs the CSR fast path.
+
+Quantifies the accelerator that backs the ground-truth engine: the same
+BFS semantics through the dict adjacency and through the frozen CSR
+view, plus the end-to-end Δ-histogram comparison.
+"""
+
+import pytest
+
+from repro.core.pairs import delta_histogram
+from repro.datasets import eval_snapshots, load
+from repro.graph.csr import CSRGraph, bfs_levels
+from repro.graph.traversal import bfs_distances
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    return eval_snapshots(load("internet", scale=0.5))
+
+
+@pytest.fixture(scope="module")
+def csr(snapshots):
+    return CSRGraph.from_graph(snapshots[0])
+
+
+def test_bfs_dict_engine(benchmark, snapshots):
+    g1, _ = snapshots
+    source = next(iter(g1.nodes()))
+    dist = benchmark(bfs_distances, g1, source)
+    assert dist[source] == 0
+
+
+def test_bfs_csr_engine(benchmark, snapshots, csr):
+    source_idx = 0
+    levels = benchmark(bfs_levels, csr, source_idx)
+    assert levels[source_idx] == 0
+
+
+def test_delta_histogram_dict_engine(benchmark, snapshots):
+    g1, g2 = snapshots
+    hist = benchmark.pedantic(
+        delta_histogram, args=(g1, g2),
+        kwargs={"validate": False, "engine": "dict"},
+        rounds=1, iterations=1,
+    )
+    assert sum(hist.values()) > 0
+
+
+def test_delta_histogram_csr_engine(benchmark, snapshots):
+    g1, g2 = snapshots
+    hist = benchmark.pedantic(
+        delta_histogram, args=(g1, g2),
+        kwargs={"validate": False, "engine": "csr"},
+        rounds=1, iterations=1,
+    )
+    assert sum(hist.values()) > 0
+
+
+def test_engines_agree(snapshots):
+    g1, g2 = snapshots
+    assert delta_histogram(g1, g2, validate=False, engine="dict") == (
+        delta_histogram(g1, g2, validate=False, engine="csr")
+    )

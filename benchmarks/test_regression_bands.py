@@ -1,0 +1,64 @@
+"""Regression bands: the reproduction's findings must stay put.
+
+``expected_shapes.json`` (written by ``scripts/update_regression_bands.py``
+after deliberate changes) records each algorithm's average Table 5
+coverage with a tolerance band at the reference benchmark scale.  This
+bench re-runs the experiment and fails on drift — the guard that keeps
+refactors from silently degrading the reproduction.
+
+Skipped automatically when ``REPRO_BENCH_SCALE`` differs from the scale
+the bands were recorded at.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import table5
+
+from conftest import emit
+
+BANDS_PATH = Path(__file__).resolve().parent / "expected_shapes.json"
+
+
+def test_regression_bands(benchmark, config):
+    if not BANDS_PATH.exists():
+        pytest.skip("no expected_shapes.json recorded yet")
+    expected = json.loads(BANDS_PATH.read_text(encoding="utf-8"))
+    if abs(expected["scale"] - config.scale) > 1e-9:
+        pytest.skip(
+            f"bands recorded at scale {expected['scale']}, "
+            f"running at {config.scale}"
+        )
+
+    result = benchmark.pedantic(
+        table5.run, args=(config,), rounds=1, iterations=1
+    )
+
+    failures = []
+    lines = []
+    for algo, band in expected["average_coverage"].items():
+        values = [
+            result.coverage[(algo, ds, off)]
+            for ds, off, _, _ in result.columns
+        ]
+        mean = float(np.mean(values))
+        status = "ok"
+        if not band["low"] <= mean <= band["high"]:
+            status = "DRIFT"
+            failures.append(
+                f"{algo}: mean {mean:.3f} outside "
+                f"[{band['low']:.3f}, {band['high']:.3f}]"
+            )
+        lines.append(
+            f"  {algo:10s} mean={100 * mean:5.1f}%  band="
+            f"[{100 * band['low']:.1f}%, {100 * band['high']:.1f}%]  {status}"
+        )
+    emit("Regression bands (Table 5 averages):\n" + "\n".join(lines))
+    assert not failures, (
+        "coverage drifted outside the recorded bands — if the change was "
+        "deliberate, rerun scripts/update_regression_bands.py:\n"
+        + "\n".join(failures)
+    )

@@ -1,0 +1,52 @@
+"""Bench E-P1 — the complexity claim, and E-X3 — out-of-catalog robustness.
+
+E-P1 measures exact-vs-budgeted wall clock as the graph grows: the
+budgeted algorithm's fixed 2m SSSPs must pull away roughly linearly in
+n.  E-X3 re-runs the key selector comparison on a forest-fire stream no
+generator was calibrated on.
+"""
+
+from repro.experiments import scaling
+
+from conftest import emit
+
+
+def test_scaling_exact_vs_budgeted(benchmark, config):
+    scales = tuple(
+        round(config.scale * f, 3) for f in (0.25, 0.5, 1.0)
+    )
+    rows = benchmark.pedantic(
+        scaling.run_scaling,
+        args=(config,),
+        kwargs={"scales": scales},
+        rounds=1,
+        iterations=1,
+    )
+    emit(scaling.render_scaling(rows))
+
+    assert [r.nodes for r in rows] == sorted(r.nodes for r in rows)
+    for r in rows:
+        assert r.speedup > 1.0, "budgeted must beat exact at every size"
+        # Fixed budget: the budgeted SSSP count never grows with n.
+        assert r.budgeted_ssps == rows[0].budgeted_ssps
+    # The deterministic form of the claim: the SSSP ratio grows linearly
+    # in n (exact = 2n SSSPs vs a constant 2m).
+    node_growth = rows[-1].nodes / rows[0].nodes
+    assert rows[-1].sssp_ratio >= 0.95 * node_growth * rows[0].sssp_ratio
+
+
+def test_forest_fire_robustness(benchmark, config):
+    result = benchmark.pedantic(
+        scaling.run_forest_fire_robustness,
+        args=(config,),
+        kwargs={"num_nodes": int(1200 * config.scale)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(scaling.render_forest_fire_robustness(result))
+
+    cov = result.coverage
+    assert all(0.0 <= v <= 1.0 for v in cov.values())
+    # The paper's headline orderings persist off-catalog.
+    assert cov["SumDiff"] > cov["Degree"]
+    assert max(cov["SumDiff"], cov["MMSD"]) >= cov["IncDeg"] - 0.1

@@ -1,0 +1,21 @@
+"""Bench E-T1 — regenerate Table 1 (SSSP budget accounting).
+
+Verifies, per approach family, that the measured generation/top-k SSSP
+split equals the paper's formula, and times one full budgeted run per
+family.
+"""
+
+from repro.experiments import table1
+
+from conftest import emit
+
+
+def test_table1_budget_split(benchmark, config):
+    rows = benchmark.pedantic(
+        table1.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(table1.render(rows))
+    assert len(rows) == len(table1.FAMILIES)
+    for row in rows:
+        assert row.matches, f"{row.family} deviates from Table 1's formula"
+        assert row.total_measured <= 2 * config.budget

@@ -1,0 +1,30 @@
+"""Bench E-T3 — regenerate Table 3 (pair-graph characteristics).
+
+Computes the exact ``G^p_k`` at δ = Δmax, Δmax−1, Δmax−2 for every
+dataset plus its greedy vertex cover, and asserts the paper's structural
+headline: the top-k pairs are covered by far fewer nodes than they have
+endpoints.
+"""
+
+from repro.experiments import table3
+
+from conftest import emit
+
+
+def test_table3_pairgraph_and_cover(benchmark, config):
+    rows = benchmark.pedantic(
+        table3.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(table3.render(rows))
+
+    assert len(rows) == len(config.datasets) * len(config.delta_offsets)
+    compressions = []
+    for r in rows:
+        assert r.maxcover <= r.endpoints <= 2 * r.pairs
+        if r.pairs >= 20:
+            compressions.append(r.maxcover / r.endpoints)
+    # The paper's Table 3 shape: covers are a small fraction of the
+    # endpoints once the pair set is non-trivial (DBLP: 68 endpoints,
+    # 12-node cover).
+    assert compressions, "no dataset produced a nontrivial pair set"
+    assert min(compressions) < 0.5

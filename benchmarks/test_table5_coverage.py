@@ -1,0 +1,52 @@
+"""Bench E-T5 — regenerate Table 5 (coverage of every algorithm).
+
+The paper's main results table.  Asserts its ordering findings as shape
+checks (averaged across columns, so single-cell noise cannot flip them):
+
+* Degree is the weakest family on average;
+* SumDiff >= MaxDiff on average;
+* the hybrids and SumDiff sit at the top;
+* the budgeted Incidence rankers do not beat the best landmark method.
+"""
+
+import numpy as np
+
+from repro.experiments import table5
+
+from conftest import emit
+
+
+def _avg(result, algo):
+    return float(
+        np.mean([
+            result.coverage[(algo, ds, off)]
+            for ds, off, _, _ in result.columns
+        ])
+    )
+
+
+def test_table5_single_feature_coverage(benchmark, config):
+    result = benchmark.pedantic(
+        table5.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(table5.render(result))
+
+    averages = {algo: _avg(result, algo) for algo in result.algorithms}
+    emit(
+        "average coverage: "
+        + ", ".join(f"{a}={100 * v:.1f}%" for a, v in sorted(
+            averages.items(), key=lambda kv: -kv[1]
+        ))
+    )
+
+    # Paper shapes.
+    assert averages["Degree"] < averages["SumDiff"]
+    assert averages["Degree"] < averages["MMSD"]
+    assert averages["SumDiff"] >= averages["MaxDiff"] - 0.05
+    best = max(averages.values())
+    assert max(averages["MMSD"], averages["MASD"], averages["SumDiff"]) >= (
+        best - 0.10
+    )
+    assert averages["IncDeg"] <= best
+    # Every algorithm must at least run everywhere.
+    assert all(0.0 <= v <= 1.0 for v in result.coverage.values())

@@ -1,0 +1,35 @@
+"""Bench E-T6 — regenerate Table 6 (unbudgeted Incidence baseline).
+
+Runs the original algorithm of [14] with shortest paths from every
+active node.  Asserts the paper's contrast: near-complete coverage, but
+an effective budget (the active-node fraction) an order of magnitude
+above the budgeted approaches.
+"""
+
+from repro.experiments import table6
+
+from conftest import emit
+
+
+def test_table6_unbudgeted_incidence(benchmark, config):
+    rows = benchmark.pedantic(
+        table6.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(table6.render(rows))
+
+    assert rows
+    for r in rows:
+        # The paper reports "almost complete coverage".  That is not a
+        # theorem: a pair can converge via a shortcut elsewhere on its
+        # path with neither endpoint receiving an edge, and the
+        # internet-like analogue's late-peering regime produces plenty
+        # of such pairs.  Majority coverage is the robust form of the
+        # claim; EXPERIMENTS.md records the per-dataset numbers.
+        assert r.coverage >= 0.5, f"{r.dataset}: Incidence collapsed"
+        assert r.sp_computations == 2 * r.active_nodes
+        # The paper's |A| range is 11.66%-66% of |V1|; ours must likewise
+        # exceed the budgeted m's share (which is a few percent at the
+        # reference scale — at tiny test scales m itself is a large
+        # fraction, so the 10% floor carries the claim).
+        assert r.active_fraction > r.budget_fraction
+        assert r.active_fraction >= 0.10

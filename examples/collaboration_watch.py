@@ -1,0 +1,79 @@
+"""Classifier-driven monitoring of a co-authorship network.
+
+DBLP-style scenario: research communities drift together as authors
+co-publish across areas.  Instead of hand-picking a selection heuristic,
+train the paper's classifiers on an *early* portion of the stream (20% to
+40% of the edges) and let them nominate candidate authors on the current
+snapshot pair — the local model knows this network, the global model has
+also seen other network types.
+
+Run with::
+
+    python examples/collaboration_watch.py
+"""
+
+from repro import (
+    candidate_pair_coverage,
+    converging_pairs_at_threshold,
+    datasets,
+    find_top_k_converging_pairs,
+)
+from repro.core.pairs import delta_histogram
+from repro.ml import train_global_classifier, train_local_classifier
+from repro.selection import GlobalClassifierSelector, LocalClassifierSelector
+
+
+def main() -> None:
+    temporal = datasets.load("dblp", scale=0.5)
+
+    # Train on the early stream (20%/40% snapshots) — no leakage into the
+    # evaluation pair.
+    local_model = train_local_classifier(temporal, seed=11)
+    print(
+        f"local model trained; positive class (greedy-cover members) = "
+        f"{100 * local_model.positive_fraction:.1f}% of training nodes"
+    )
+    global_model = train_global_classifier(
+        {name: datasets.load(name, scale=0.3) for name in datasets.dataset_names()},
+        seed=11,
+    )
+    print("global model trained on all four catalog datasets")
+
+    # Evaluation pair: 80% / 100% of the stream.
+    g1, g2 = datasets.eval_snapshots(temporal)
+    hist = delta_histogram(g1, g2)
+    delta_max = max(d for d in hist if d > 0)
+    truth = converging_pairs_at_threshold(g1, g2, max(1, delta_max - 1))
+    print(
+        f"\nground truth: {len(truth)} author pairs converged by "
+        f"Δ >= {max(1, delta_max - 1):g} (Δmax = {delta_max:g})"
+    )
+
+    m = 30
+    for label, selector in (
+        ("L-Classifier", LocalClassifierSelector(local_model)),
+        ("G-Classifier", GlobalClassifierSelector(global_model)),
+    ):
+        result = find_top_k_converging_pairs(
+            g1, g2, k=len(truth), m=m, selector=selector, seed=2
+        )
+        cov = candidate_pair_coverage(result.candidates, truth)
+        print(
+            f"{label}: {100 * cov:.1f}% of converging author pairs found "
+            f"with {result.budget.spent} SSSPs "
+            f"({result.budget.by_phase()})"
+        )
+
+    print("\nstrongest convergence signals (local model run):")
+    result = find_top_k_converging_pairs(
+        g1, g2, k=5, m=m, selector=LocalClassifierSelector(local_model), seed=2
+    )
+    for p in result.pairs:
+        print(
+            f"  authors {p.u} and {p.v}: {p.d1:g} -> {p.d2:g} "
+            f"(Δ = {p.delta:g})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Friend recommendation from converging pairs (paper intro scenario).
+
+"In social networking sites such as Facebook or LinkedIn, if two distant
+users come closer over time, this could imply the appearance of similar
+interests or activities between them ... this further knowledge can help
+in making more suitable friendship recommendations."
+
+This example monitors a growing friendship graph between two observation
+points, surfaces the user pairs whose network distance collapsed the
+most, and turns the not-yet-adjacent ones into recommendation candidates,
+annotated with their current distance and number of mutual friends.
+
+Run with::
+
+    python examples/friend_recommendation.py
+"""
+
+from repro import datasets, find_top_k_converging_pairs, get_selector
+
+
+def mutual_friends(graph, u, v) -> int:
+    """Number of common neighbors of two users in a snapshot."""
+    return len(set(graph.neighbors(u)) & set(graph.neighbors(v)))
+
+
+def main() -> None:
+    temporal = datasets.load("facebook", scale=0.4)
+    g1, g2 = datasets.eval_snapshots(temporal)
+    print(
+        f"friendship network: {g1.num_edges} -> {g2.num_edges} friendships "
+        f"between observations"
+    )
+
+    # Budgeted detection: SumDiff is the paper's most reliable
+    # single-feature selector on Facebook-like graphs.
+    result = find_top_k_converging_pairs(
+        g1, g2, k=40, m=25, selector=get_selector("SumDiff"), seed=3
+    )
+
+    # Converging but still unconnected pairs are recommendation material:
+    # their communities are merging although they never interacted.
+    recommendations = [
+        p for p in result.pairs if not g2.has_edge(p.u, p.v)
+    ]
+    print(
+        f"\nfound {len(result.pairs)} converging pairs with "
+        f"{result.budget.spent} shortest-path computations; "
+        f"{len(recommendations)} are not yet friends:\n"
+    )
+    print(f"{'user pair':>14}  {'dist before':>11}  {'dist now':>8}  "
+          f"{'Δ':>3}  {'mutual friends':>14}")
+    for p in recommendations[:10]:
+        print(
+            f"{f'({p.u}, {p.v})':>14}  {p.d1:>11g}  {p.d2:>8g}  "
+            f"{p.delta:>3g}  {mutual_friends(g2, p.u, p.v):>14}"
+        )
+
+    if recommendations:
+        top = recommendations[0]
+        print(
+            f"\nstrongest signal: users {top.u} and {top.v} went from "
+            f"{top.d1:g} hops apart to {top.d2:g} — their circles merged."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Latency-weighted route monitoring (the weighted generalisation).
+
+The problem definition covers weighted graphs: distances are Dijkstra
+path costs and Δ is fractional.  This example monitors the
+latency-weighted AS analogue — core links fast, stub tails slow — and
+surfaces the node pairs whose end-to-end latency collapsed the most
+when new peering links appeared.
+
+Run with::
+
+    python examples/weighted_routing.py
+"""
+
+from repro import (
+    candidate_pair_coverage,
+    datasets,
+    find_top_k_converging_pairs,
+    get_selector,
+    top_k_converging_pairs,
+)
+
+
+def main() -> None:
+    temporal = datasets.load("internet-weighted", scale=0.3)
+    g1, g2 = datasets.eval_snapshots(temporal)
+    print(
+        f"weighted AS topology: {g1.num_nodes} nodes, "
+        f"{g1.num_edges} -> {g2.num_edges} links (weights = latencies)"
+    )
+
+    # With continuous latencies, ties are essentially impossible, so a
+    # plain top-k ground truth is already unique.
+    k = 25
+    truth = top_k_converging_pairs(g1, g2, k=k)
+    print(f"\nsharpest latency collapses (exact, Dijkstra):")
+    for p in truth[:5]:
+        print(
+            f"  AS{p.u} <-> AS{p.v}: {p.d1:.1f}ms -> {p.d2:.1f}ms "
+            f"(saved {p.delta:.1f}ms)"
+        )
+
+    # Same budgeted machinery — selectors are distance-agnostic.
+    m = 30
+    result = find_top_k_converging_pairs(
+        g1, g2, k=k, m=m, selector=get_selector("MMSD"), seed=4
+    )
+    cov = candidate_pair_coverage(result.candidates, truth)
+    print(
+        f"\nbudgeted run (m={m}, {result.budget.spent} Dijkstra "
+        f"computations): {100 * cov:.1f}% of the top-{k} found"
+    )
+    if result.pairs:
+        best = result.pairs[0]
+        print(
+            f"best finding: AS{best.u} <-> AS{best.v}, "
+            f"{best.d1:.1f}ms -> {best.d2:.1f}ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Render the figure experiments as SVG files under ``figures/``.
+
+Produces one SVG per dataset for Figure 1 (landmark-family budget
+curves) and Figure 3 (classifiers vs best single algorithm), and a
+two-panel pair for Figure 2 (candidate quality on the Facebook-like
+dataset), using the dependency-free renderer in
+:mod:`repro.experiments.svgplot`.
+
+Usage::
+
+    python scripts/generate_figures.py [--scale 0.5] [--out figures/]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, figure1, figure2, figure3
+from repro.experiments.svgplot import line_chart
+
+
+def generate(scale: float, out_dir: Path) -> list:
+    config = ExperimentConfig(scale=scale)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def emit(name: str, svg: str) -> None:
+        path = out_dir / name
+        path.write_text(svg, encoding="utf-8")
+        written.append(path)
+        print(f"wrote {path}")
+
+    f1 = figure1.run(config)
+    for dataset, series in f1.curves.items():
+        emit(
+            f"figure1_{dataset}.svg",
+            line_chart(
+                {name: curve for name, curve in series.items()},
+                title=f"Figure 1 ({dataset}): coverage vs budget",
+                x_label="budget m",
+                y_label="coverage",
+            ),
+        )
+
+    f2 = figure2.run(config)
+    emit(
+        "figure2a_endpoints.svg",
+        line_chart(
+            f2.endpoint_curves,
+            title=f"Figure 2a ({f2.dataset}): candidates in G^p_k",
+            x_label="budget m",
+            y_label="fraction of candidates",
+        ),
+    )
+    emit(
+        "figure2b_cover.svg",
+        line_chart(
+            f2.cover_curves,
+            title=f"Figure 2b ({f2.dataset}): candidates in greedy cover",
+            x_label="budget m",
+            y_label="fraction of candidates",
+        ),
+    )
+
+    f3 = figure3.run(config)
+    for dataset, series in f3.curves.items():
+        emit(
+            f"figure3_{dataset}.svg",
+            line_chart(
+                series,
+                title=(
+                    f"Figure 3 ({dataset}): classifiers vs "
+                    f"{f3.best_algorithm[dataset]}"
+                ),
+                x_label="budget m",
+                y_label="coverage",
+            ),
+        )
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent / "figures",
+    )
+    args = parser.parse_args(argv)
+    written = generate(args.scale, args.out)
+    print(f"{len(written)} figures written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

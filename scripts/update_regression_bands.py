@@ -1,0 +1,74 @@
+"""Refresh benchmarks/expected_shapes.json — the regression bands.
+
+The reproduction's value is that its findings are *stable*: a refactor
+that silently halves SumDiff's coverage is a bug even if every unit test
+passes.  This script runs the Table 5 experiment at the benchmark scale
+and records each algorithm's average coverage with a tolerance band;
+``benchmarks/test_regression_bands.py`` then fails any run that drifts
+outside the bands.
+
+Regenerate after *deliberate* changes to the generators, selectors, or
+experiment configuration::
+
+    python scripts/update_regression_bands.py [--scale 0.5] [--margin 0.12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, table5
+
+DEFAULT_OUT = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "expected_shapes.json"
+)
+
+
+def compute_bands(scale: float, margin: float) -> dict:
+    config = ExperimentConfig(scale=scale)
+    result = table5.run(config)
+    bands = {}
+    for algo in result.algorithms:
+        values = [
+            result.coverage[(algo, ds, off)]
+            for ds, off, _, _ in result.columns
+        ]
+        mean = float(np.mean(values))
+        bands[algo] = {
+            "mean": round(mean, 4),
+            "low": round(max(0.0, mean - margin), 4),
+            "high": round(min(1.0, mean + margin), 4),
+        }
+    return {
+        "scale": scale,
+        "budget": config.budget,
+        "seed": config.seed,
+        "margin": margin,
+        "average_coverage": bands,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--margin", type=float, default=0.12,
+        help="half-width of the accepted band around each mean",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    bands = compute_bands(args.scale, args.margin)
+    args.out.write_text(json.dumps(bands, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,350 @@
+"""Command-line interface.
+
+Exposes the library's main workflows on edge-list files or the synthetic
+catalog, so the system is usable without writing Python::
+
+    python -m repro datasets
+    python -m repro generate facebook --out stream.tsv --scale 0.5
+    python -m repro characteristics facebook --scale 0.3
+    python -m repro truth stream.tsv --delta-offset 1
+    python -m repro topk stream.tsv --selector MMSD --m 40 --k 25
+    python -m repro experiment table5 --scale 0.25
+
+Graph inputs: a catalog name (``actors``, ``internet``, ``facebook``,
+``dblp``) or a path to an edge-list file — timestamped TSV
+(``time<TAB>u<TAB>v[<TAB>w]``) or plain ``u v`` lines in arrival order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.core.algorithm import find_top_k_converging_pairs
+from repro.core.pairs import (
+    converging_pairs_at_threshold,
+    delta_histogram,
+    top_k_converging_pairs,
+)
+from repro.datasets import catalog, io
+from repro.datasets.splits import EVAL_SPLIT
+from repro.graph.dynamic import TemporalGraph
+from repro.selection import available_selectors, get_selector
+
+
+def _load_input(source: str, scale: float, seed: Optional[int]) -> TemporalGraph:
+    """A catalog name or an edge-list path -> TemporalGraph."""
+    if source.lower() in catalog.DATASETS:
+        return catalog.load(source, scale=scale, seed=seed)
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {source!r} is neither a catalog dataset "
+            f"({', '.join(catalog.dataset_names())}) nor an existing file"
+        )
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                first_data = line
+                break
+        else:
+            raise SystemExit(f"error: {source!r} contains no edges")
+    if len(first_data.split("\t")) >= 3:
+        return io.read_edge_stream(path)
+    return io.read_edge_list(path)
+
+
+def _snapshots(temporal: TemporalGraph, split: float):
+    return temporal.snapshot_pair(split, 1.0)
+
+
+def _print_pairs(pairs, limit: int) -> None:
+    print(f"{'u':>8}  {'v':>8}  {'d_t1':>5}  {'d_t2':>5}  {'Δ':>4}")
+    for p in pairs[:limit]:
+        print(f"{p.u!s:>8}  {p.v!s:>8}  {p.d1:>5g}  {p.d2:>5g}  {p.delta:>4g}")
+    if len(pairs) > limit:
+        print(f"... {len(pairs) - limit} more")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_datasets(args) -> int:
+    for spec in catalog.DATASETS.values():
+        print(f"{spec.name:10s} {spec.description}  [{spec.paper_dataset}]")
+    return 0
+
+
+def cmd_selectors(args) -> int:
+    for name in available_selectors():
+        print(name)
+    return 0
+
+
+def cmd_generate(args) -> int:
+    temporal = catalog.load(args.dataset, scale=args.scale, seed=args.seed)
+    io.write_edge_stream(temporal, args.out)
+    print(f"wrote {temporal.num_events} events to {args.out}")
+    return 0
+
+
+def cmd_characteristics(args) -> int:
+    temporal = _load_input(args.input, args.scale, args.seed)
+    chars = catalog.characteristics(temporal, split=(args.split, 1.0))
+    width = max(len(k) for k in chars)
+    for key, value in chars.items():
+        print(f"{key:<{width}}  {value:g}")
+    return 0
+
+
+def cmd_truth(args) -> int:
+    temporal = _load_input(args.input, args.scale, args.seed)
+    g1, g2 = _snapshots(temporal, args.split)
+    if args.k is not None:
+        pairs = top_k_converging_pairs(g1, g2, k=args.k)
+    else:
+        hist = delta_histogram(g1, g2)
+        positive = [d for d in hist if d > 0]
+        if not positive:
+            print("no converging pairs")
+            return 0
+        delta = max(1, max(positive) - args.delta_offset)
+        pairs = converging_pairs_at_threshold(g1, g2, delta)
+        print(f"δ = {delta:g} (Δmax = {max(positive):g}), k = {len(pairs)}")
+    _print_pairs(pairs, args.limit)
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.ml import save_model, train_local_classifier
+
+    temporal = _load_input(args.input, args.scale, args.seed)
+    model = train_local_classifier(
+        temporal, num_landmarks=args.landmarks, seed=args.seed or 0
+    )
+    save_model(model, args.out)
+    print(
+        f"trained local classifier on {args.input} "
+        f"(positive fraction {model.positive_fraction:.3f}); "
+        f"saved to {args.out}"
+    )
+    return 0
+
+
+def _build_cli_selector(args):
+    if args.model is not None:
+        from repro.ml import load_model
+        from repro.selection import (
+            GlobalClassifierSelector,
+            LocalClassifierSelector,
+        )
+
+        model = load_model(args.model)
+        if model.uses_graph_features:
+            return GlobalClassifierSelector(model)
+        return LocalClassifierSelector(model)
+    try:
+        try:
+            return get_selector(args.selector, num_landmarks=args.landmarks)
+        except TypeError:
+            return get_selector(args.selector)
+    except KeyError as exc:
+        # get_selector's message lists the known names.
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+
+def cmd_topk(args) -> int:
+    temporal = _load_input(args.input, args.scale, args.seed)
+    g1, g2 = _snapshots(temporal, args.split)
+    selector = _build_cli_selector(args)
+    result = find_top_k_converging_pairs(
+        g1, g2, k=args.k, m=args.m, selector=selector, seed=args.seed or 0
+    )
+    print(
+        f"budget: {result.budget.spent}/{result.budget.limit} SSSPs "
+        f"{result.budget.by_phase()}"
+    )
+    print(f"candidates ({len(result.candidates)}): "
+          f"{', '.join(str(c) for c in result.candidates[:15])}"
+          f"{' ...' if len(result.candidates) > 15 else ''}")
+    _print_pairs(result.pairs, args.limit)
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    from repro.core.monitoring import ConvergenceMonitor
+
+    temporal = _load_input(args.input, args.scale, args.seed)
+    checkpoints = [float(c) for c in args.checkpoints.split(",")]
+
+    def selector_factory():
+        return get_selector(args.selector)
+
+    monitor = ConvergenceMonitor(
+        temporal,
+        selector_factory=selector_factory,
+        k=args.k,
+        m=args.m,
+        seed=args.seed or 0,
+    )
+    for report in monitor.run(checkpoints):
+        window = f"{report.start_fraction:g} -> {report.end_fraction:g}"
+        best = report.pairs[0] if report.pairs else None
+        headline = (
+            f"best {best.pair} (Δ={best.delta:g})" if best else "no change"
+        )
+        print(
+            f"window {window}: {len(report.pairs)} pairs, "
+            f"{report.sp_spent} SSSPs — {headline}"
+        )
+    movers = monitor.recurrent_nodes(min_windows=2)
+    print(f"total SSSPs: {monitor.total_sp_spent()}")
+    print(
+        "recurrently converging nodes: "
+        + (", ".join(str(u) for u in movers[:10]) if movers else "none")
+    )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import ExperimentConfig
+    from repro.experiments import (
+        figure1,
+        figure2,
+        figure3,
+        table1,
+        table2,
+        table3,
+        table5,
+        table6,
+    )
+
+    modules = {
+        "table1": table1, "table2": table2, "table3": table3,
+        "table5": table5, "table6": table6, "figure1": figure1,
+        "figure2": figure2, "figure3": figure3,
+    }
+    if args.name not in modules:
+        raise SystemExit(
+            f"error: unknown experiment {args.name!r}; "
+            f"choose from {', '.join(modules)}"
+        )
+    module = modules[args.name]
+    config = ExperimentConfig(scale=args.scale)
+    result = module.run(config)
+    print(module.render(result))
+    if args.json is not None:
+        from repro.experiments.export import write_json
+
+        write_json(result, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_input_options(sub, with_split=True) -> None:
+    sub.add_argument("input", help="catalog dataset name or edge-list path")
+    sub.add_argument("--scale", type=float, default=1.0,
+                     help="catalog scale factor (ignored for files)")
+    sub.add_argument("--seed", type=int, default=None,
+                     help="generator / selector seed")
+    if with_split:
+        sub.add_argument("--split", type=float, default=EVAL_SPLIT[0],
+                         help="fraction of the stream forming G_t1 "
+                              "(default 0.8)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Identifying converging pairs of nodes on a budget "
+                    "(EDBT 2015 reproduction).",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    subs.add_parser("datasets", help="list the synthetic catalog").set_defaults(
+        func=cmd_datasets
+    )
+    subs.add_parser("selectors", help="list candidate selectors").set_defaults(
+        func=cmd_selectors
+    )
+
+    gen = subs.add_parser("generate", help="write a synthetic edge stream")
+    gen.add_argument("dataset", choices=catalog.dataset_names())
+    gen.add_argument("--out", required=True, type=Path)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.set_defaults(func=cmd_generate)
+
+    chars = subs.add_parser("characteristics",
+                            help="Table 2-style dataset characteristics")
+    _add_input_options(chars)
+    chars.set_defaults(func=cmd_characteristics)
+
+    truth = subs.add_parser("truth", help="exact top-k converging pairs")
+    _add_input_options(truth)
+    truth.add_argument("--k", type=int, default=None,
+                       help="explicit k (default: δ-threshold rule)")
+    truth.add_argument("--delta-offset", type=int, default=1,
+                       help="δ = Δmax − offset when --k is absent")
+    truth.add_argument("--limit", type=int, default=20,
+                       help="pairs to print")
+    truth.set_defaults(func=cmd_truth)
+
+    topk = subs.add_parser("topk", help="budgeted top-k (Algorithm 1)")
+    _add_input_options(topk)
+    topk.add_argument("--selector", default="MMSD",
+                      help="candidate selector (see `repro selectors`)")
+    topk.add_argument("--m", type=int, default=40,
+                      help="candidate budget (2m SSSPs total)")
+    topk.add_argument("--k", type=int, default=20)
+    topk.add_argument("--landmarks", type=int, default=10)
+    topk.add_argument("--limit", type=int, default=20)
+    topk.add_argument("--model", type=Path, default=None,
+                      help="saved classifier model (.npz) — overrides "
+                           "--selector with the matching classifier")
+    topk.set_defaults(func=cmd_topk)
+
+    train = subs.add_parser(
+        "train", help="train and save a local classifier for a dataset"
+    )
+    _add_input_options(train, with_split=False)
+    train.add_argument("--out", required=True, type=Path)
+    train.add_argument("--landmarks", type=int, default=10)
+    train.set_defaults(func=cmd_train)
+
+    mon = subs.add_parser(
+        "monitor", help="continuous monitoring over stream checkpoints"
+    )
+    _add_input_options(mon, with_split=False)
+    mon.add_argument("--checkpoints", default="0.5,0.75,1.0",
+                     help="comma-separated stream fractions")
+    mon.add_argument("--selector", default="SumDiff")
+    mon.add_argument("--k", type=int, default=15)
+    mon.add_argument("--m", type=int, default=20)
+    mon.set_defaults(func=cmd_monitor)
+
+    exp = subs.add_parser("experiment", help="run one paper artefact")
+    exp.add_argument("name", help="table1/2/3/5/6 or figure1/2/3")
+    exp.add_argument("--scale", type=float, default=0.5)
+    exp.add_argument("--json", type=Path, default=None,
+                     help="also write the raw result as JSON")
+    exp.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

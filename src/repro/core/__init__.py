@@ -1,0 +1,68 @@
+"""Core contribution: top-k converging pairs under an SSSP budget.
+
+This subpackage implements the paper's primary machinery:
+
+* :mod:`repro.core.pairs` — exact ground truth: the convergence score
+  ``Δ(u,v) = d_t1(u,v) − d_t2(u,v)``, its distribution, the δ-threshold
+  rule that makes the top-k set unique, and the top-k pairs themselves.
+* :mod:`repro.core.pairgraph` — the pair graph ``G^p_k`` whose edges are
+  the top-k converging pairs.
+* :mod:`repro.core.cover` — greedy vertex cover / budgeted max coverage
+  over ``G^p_k`` (the "greedy-cover" oracle).
+* :mod:`repro.core.budget` — the auditable SSSP budget every algorithm
+  runs under (Problem 2).
+* :mod:`repro.core.algorithm` — the generic top-k algorithm (Algorithm 1)
+  parameterised by a candidate selector.
+* :mod:`repro.core.evaluation` — coverage and candidate-quality metrics.
+"""
+
+from repro.core.pairs import (
+    ConvergingPair,
+    canonical_pair,
+    converging_pairs_at_threshold,
+    delta_histogram,
+    k_for_delta_threshold,
+    max_delta,
+    pair_delta,
+    top_k_converging_pairs,
+)
+from repro.core.pairgraph import PairGraph
+from repro.core.cover import (
+    exact_min_vertex_cover,
+    greedy_max_coverage,
+    greedy_vertex_cover,
+)
+from repro.core.budget import BudgetExceededError, SPBudget
+from repro.core.algorithm import TopKResult, find_top_k_converging_pairs
+from repro.core.monitoring import ConvergenceMonitor, WindowReport
+from repro.core.evaluation import (
+    candidate_pair_coverage,
+    coverage,
+    cover_precision,
+    endpoint_precision,
+)
+
+__all__ = [
+    "ConvergingPair",
+    "canonical_pair",
+    "converging_pairs_at_threshold",
+    "delta_histogram",
+    "k_for_delta_threshold",
+    "max_delta",
+    "pair_delta",
+    "top_k_converging_pairs",
+    "PairGraph",
+    "exact_min_vertex_cover",
+    "greedy_max_coverage",
+    "greedy_vertex_cover",
+    "BudgetExceededError",
+    "SPBudget",
+    "TopKResult",
+    "find_top_k_converging_pairs",
+    "ConvergenceMonitor",
+    "WindowReport",
+    "candidate_pair_coverage",
+    "coverage",
+    "cover_precision",
+    "endpoint_precision",
+]

@@ -1,0 +1,216 @@
+"""The generic top-k algorithm (Algorithm 1 of the paper).
+
+Given a candidate selector, the generic algorithm
+
+1. asks the selector for up to ``m`` candidate endpoints (phase 1,
+   charged to the SSSP budget as ``"generation"``),
+2. computes single-source shortest paths from every candidate in both
+   snapshots (phase 2, ``"topk"`` charges; rows the selector already
+   computed are reused for free),
+3. scores every ``(candidate, v)`` pair connected at t1 with
+   ``Δ = d_t1 − d_t2`` and returns the k best.
+
+The total spend is exactly ``2m`` SSSPs for every selector in the suite —
+the budget tests assert this against Table 1's per-approach split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.budget import SPBudget
+from repro.core.pairs import ConvergingPair, canonical_pair
+from repro.graph.graph import Graph
+from repro.graph.traversal import single_source_distances
+from repro.graph.validation import check_snapshot_pair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.selection.base import CandidateSelector
+
+Node = Hashable
+
+
+@dataclass
+class TopKResult:
+    """Everything Algorithm 1 produced, plus its audit trail.
+
+    Attributes
+    ----------
+    pairs:
+        The k best converging pairs found among candidate-incident pairs,
+        ranked by Δ descending (deterministic tie-breaks).
+    candidates:
+        The candidate endpoints the selector nominated.
+    budget:
+        The budget object after the run — inspect ``budget.by_phase()``
+        to see the Table 1 split.
+    """
+
+    pairs: List[ConvergingPair]
+    candidates: List[Node]
+    budget: SPBudget
+
+    def found_pair_set(self) -> set:
+        """Canonical-pair set of the result (for coverage computations)."""
+        return {p.pair for p in self.pairs}
+
+
+def find_top_k_converging_pairs(
+    g1: Graph,
+    g2: Graph,
+    k: int,
+    m: int,
+    selector: "CandidateSelector",
+    seed: Optional[int] = None,
+    validate: bool = True,
+    budget_limit: Optional[int] = -1,
+) -> TopKResult:
+    """Algorithm 1: budgeted top-k converging pairs.
+
+    Parameters
+    ----------
+    g1, g2:
+        The snapshots (``g1`` must be a subgraph of ``g2``).
+    k:
+        How many pairs to return.
+    m:
+        The budget parameter: ``2m`` SSSP computations in total.
+    selector:
+        Any :class:`~repro.selection.base.CandidateSelector`.
+    seed:
+        Seed for the selector's randomised choices (landmark sampling).
+    validate:
+        Run the snapshot-pair structural checks first (disable for tight
+        benchmark loops on trusted inputs).
+    budget_limit:
+        ``-1`` (default) enforces the paper's ``2m``; ``None`` disables
+        enforcement; any other value is a custom limit.
+
+    Returns
+    -------
+    TopKResult
+        Pairs found, candidates used, and the audited budget.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if validate:
+        check_snapshot_pair(g1, g2)
+
+    limit = 2 * m if budget_limit == -1 else budget_limit
+    budget = SPBudget(limit)
+    rng = np.random.default_rng(seed)
+
+    result = selector.select(g1, g2, m, budget, rng=rng)
+    candidates = list(result.candidates)
+    if len(candidates) > m:
+        raise ValueError(
+            f"selector {selector.name!r} returned {len(candidates)} "
+            f"candidates for budget m={m}"
+        )
+    if len(set(candidates)) != len(candidates):
+        raise ValueError(
+            f"selector {selector.name!r} returned duplicate candidates"
+        )
+    for c in candidates:
+        if c not in g1:
+            raise ValueError(
+                f"selector {selector.name!r} returned candidate {c!r} "
+                "that is not a node of G_t1 (pairs must be connected at t1)"
+            )
+
+    # Phase 2: distance rows from every candidate in both snapshots,
+    # then Δ for every candidate-incident connected pair.  Unweighted
+    # snapshots run through the vectorised CSR engine; weighted ones
+    # stream Dijkstra rows.  Results are identical either way.
+    if g1.is_weighted() or g2.is_weighted():
+        scored = _score_candidates_dict(g1, g2, candidates, result, budget)
+    else:
+        scored = _score_candidates_csr(g1, g2, candidates, result, budget)
+
+    ranked = sorted(scored.values(), key=ConvergingPair.sort_key)
+    return TopKResult(pairs=ranked[:k], candidates=candidates, budget=budget)
+
+
+def _score_candidates_dict(
+    g1: Graph, g2: Graph, candidates, result, budget: SPBudget
+) -> Dict[tuple, ConvergingPair]:
+    """Reference scoring path: one distance map pair per candidate."""
+    scored: Dict[tuple, ConvergingPair] = {}
+    for c in candidates:
+        d1 = result.d1_rows.get(c)
+        if d1 is None:
+            budget.charge("topk", "g1", 1)
+            d1 = single_source_distances(g1, c)
+        d2 = result.d2_rows.get(c)
+        if d2 is None:
+            budget.charge("topk", "g2", 1)
+            d2 = single_source_distances(g2, c)
+        for v, dv1 in d1.items():
+            if v == c:
+                continue
+            delta = dv1 - d2[v]
+            if delta <= 0:
+                continue
+            key = canonical_pair(c, v)
+            if key not in scored:
+                scored[key] = ConvergingPair(key[0], key[1], dv1, d2[v])
+    return scored
+
+
+def _score_candidates_csr(
+    g1: Graph, g2: Graph, candidates, result, budget: SPBudget
+) -> Dict[tuple, ConvergingPair]:
+    """Vectorised scoring path for unweighted snapshots.
+
+    Distance rows — cached dicts from the selector or freshly charged
+    CSR BFS runs — are held as level arrays aligned to ``G_t1``'s node
+    order, and each candidate's Δ vector is a single numpy subtraction.
+    The budget accounting is identical to the dict path: a cached row is
+    free, a missing one is charged to ``topk`` on its snapshot.
+    """
+    from repro.graph.csr import CSRGraph, UNREACHED, bfs_levels
+
+    csr1 = CSRGraph.from_graph(g1)
+    csr2 = CSRGraph.from_graph(g2)
+    n = csr1.num_nodes
+    nodes = csr1.nodes
+    align = np.array([csr2.index[u] for u in nodes], dtype=np.int64)
+
+    def row_to_levels(row, index) -> np.ndarray:
+        levels = np.full(n, UNREACHED, dtype=np.int64)
+        for v, d in row.items():
+            i = index.get(v)
+            if i is not None:
+                levels[i] = int(d)
+        return levels
+
+    scored: Dict[tuple, ConvergingPair] = {}
+    for c in candidates:
+        cached1 = result.d1_rows.get(c)
+        if cached1 is None:
+            budget.charge("topk", "g1", 1)
+            lv1 = bfs_levels(csr1, csr1.index[c]).astype(np.int64)
+        else:
+            lv1 = row_to_levels(cached1, csr1.index)
+        cached2 = result.d2_rows.get(c)
+        if cached2 is None:
+            budget.charge("topk", "g2", 1)
+            lv2 = bfs_levels(csr2, csr2.index[c])[align].astype(np.int64)
+        else:
+            lv2 = row_to_levels(cached2, csr1.index)
+        reached = lv1 != UNREACHED
+        reached[csr1.index[c]] = False
+        hits = np.flatnonzero(reached & (lv1 - lv2 > 0))
+        for j in hits:
+            v = nodes[j]
+            key = canonical_pair(c, v)
+            if key not in scored:
+                scored[key] = ConvergingPair(
+                    key[0], key[1], int(lv1[j]), int(lv2[j])
+                )
+    return scored

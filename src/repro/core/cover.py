@@ -1,0 +1,141 @@
+"""Greedy vertex cover and budgeted max coverage over the pair graph.
+
+Minimum vertex cover and budgeted max coverage are NP-hard even when
+``G^p_k`` is known; the paper uses the classical greedy algorithm — pick
+the node covering the most still-uncovered pairs, repeat — which carries a
+logarithmic approximation guarantee for set cover and the familiar
+``1 − 1/e`` guarantee for max coverage [24].  The greedy *full* cover is
+the paper's "greedy-cover": the positive class of the classifiers and the
+quality yardstick of Figure 2(b) and Table 3's "maxcover" column.
+
+Both functions use lazy-greedy evaluation (a max-heap of stale gains,
+re-scored on pop), which is equivalent to plain greedy for this
+submodular objective but far faster on skewed pair graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, List, Optional, Set, Tuple
+
+from repro.core.pairgraph import PairGraph
+from repro.core.pairs import canonical_pair
+
+Node = Hashable
+
+
+def _greedy_cover(
+    pair_graph: PairGraph, budget: Optional[int]
+) -> Tuple[List[Node], Set]:
+    """Shared greedy loop; returns ``(selected_nodes, covered_pairs)``."""
+    uncovered = pair_graph.pairs()
+    selected: List[Node] = []
+    covered: Set = set()
+    # Heap entries: (-gain, tiebreak, node).  Gains only ever shrink as
+    # pairs get covered, so a stale popped entry can be re-scored and
+    # pushed back (lazy greedy).
+    heap: List[Tuple[int, str, Node]] = [
+        (-pair_graph.pair_degree(u), repr(u), u) for u in pair_graph.endpoints()
+    ]
+    heapq.heapify(heap)
+    in_heap = {u for _, _, u in heap}
+
+    while uncovered and heap and (budget is None or len(selected) < budget):
+        neg_gain, _, u = heapq.heappop(heap)
+        in_heap.discard(u)
+        gain = sum(
+            1 for v in pair_graph.partners(u) if canonical_pair(u, v) in uncovered
+        )
+        if gain == 0:
+            continue
+        # Stale check.  Heap gains only ever overestimate (coverage is
+        # submodular), so if u's *fresh* key still beats the heap top's
+        # (possibly stale, hence optimistic) key — including the repr
+        # tie-break — u is the true greedy argmax.  Otherwise re-insert
+        # with the fresh gain and try again.
+        if heap and (-gain, repr(u)) > (heap[0][0], heap[0][1]):
+            heapq.heappush(heap, (-gain, repr(u), u))
+            in_heap.add(u)
+            continue
+        selected.append(u)
+        for v in pair_graph.partners(u):
+            pair = canonical_pair(u, v)
+            if pair in uncovered:
+                uncovered.discard(pair)
+                covered.add(pair)
+    return selected, covered
+
+
+def greedy_vertex_cover(pair_graph: PairGraph) -> List[Node]:
+    """Greedy vertex cover of ``G^p_k`` — the paper's "greedy-cover".
+
+    Returns the selected nodes in pick order (most-covering first).  The
+    result always covers every pair; its size is the "maxcover" column of
+    Table 3.
+    """
+    selected, _ = _greedy_cover(pair_graph, budget=None)
+    return selected
+
+
+def exact_min_vertex_cover(
+    pair_graph: PairGraph, max_pairs: int = 200
+) -> List[Node]:
+    """An exact minimum vertex cover by branch and bound.
+
+    The classic edge-branching scheme: pick an uncovered pair ``(u, v)``
+    — every cover contains ``u`` or ``v`` — and recurse on both choices,
+    pruning branches that cannot beat the incumbent.  The greedy cover
+    seeds the incumbent, so the search only explores where greedy might
+    be beatable.
+
+    Exponential in the worst case; refuses inputs above ``max_pairs``
+    (the ablation benchmarks and tests use it on exactly the small
+    ``G^p_k`` instances the paper's Table 3 reports).
+    """
+    if pair_graph.num_pairs > max_pairs:
+        raise ValueError(
+            f"exact cover limited to {max_pairs} pairs; got "
+            f"{pair_graph.num_pairs} (raise max_pairs explicitly if you "
+            "accept the exponential blow-up)"
+        )
+    best: List[Node] = greedy_vertex_cover(pair_graph)
+
+    def branch(uncovered: frozenset, chosen: tuple) -> None:
+        nonlocal best
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        # Lower bound: a maximal set of disjoint uncovered pairs needs
+        # one cover node each (greedy matching).
+        matched = set()
+        matching = 0
+        for u, v in uncovered:
+            if u not in matched and v not in matched:
+                matched.add(u)
+                matched.add(v)
+                matching += 1
+        if len(chosen) + matching >= len(best):
+            return
+        u, v = next(iter(uncovered))
+        for pick in (u, v):
+            remaining = frozenset(
+                p for p in uncovered if pick not in p
+            )
+            branch(remaining, chosen + (pick,))
+
+    branch(frozenset(pair_graph.pairs()), ())
+    return best
+
+
+def greedy_max_coverage(pair_graph: PairGraph, budget: int) -> List[Node]:
+    """Greedy budgeted max coverage: at most ``budget`` nodes.
+
+    The prefix-optimality of greedy means this is exactly the first
+    ``budget`` picks of :func:`greedy_vertex_cover`; it is the "oracle"
+    upper-bound selector used in evaluation plots.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    selected, _ = _greedy_cover(pair_graph, budget=budget)
+    return selected

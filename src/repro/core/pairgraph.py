@@ -1,0 +1,114 @@
+"""The pair graph ``G^p_k``.
+
+Given the top-k converging pairs ``P``, the paper defines
+``G^p_k = (V_1, P)``: a graph over ``G_t1``'s nodes with one edge per
+top-k pair.  A vertex cover of ``G^p_k`` is exactly a candidate set that
+recovers the full top-k answer, which is what turns Problem 1 into the
+budgeted max-coverage Problem 2.
+
+:class:`PairGraph` is a thin, query-oriented view over a pair list: it is
+never mutated after construction and exposes the statistics the paper's
+Table 3 reports (number of pairs, number of distinct endpoints) plus the
+incidence structure the greedy cover needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.pairs import ConvergingPair, canonical_pair
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+
+class PairGraph:
+    """Incidence structure over a set of converging pairs.
+
+    Parameters
+    ----------
+    pairs:
+        The top-k converging pairs — either :class:`ConvergingPair`
+        objects or raw ``(u, v)`` tuples.  Duplicates (after
+        canonicalisation) collapse to a single edge.
+    """
+
+    def __init__(self, pairs: Iterable) -> None:
+        self._pairs: Set[Pair] = set()
+        self._incidence: Dict[Node, Set[Node]] = {}
+        for p in pairs:
+            if isinstance(p, ConvergingPair):
+                u, v = p.u, p.v
+            else:
+                u, v = p
+            cu, cv = canonical_pair(u, v)
+            if (cu, cv) in self._pairs:
+                continue
+            self._pairs.add((cu, cv))
+            self._incidence.setdefault(cu, set()).add(cv)
+            self._incidence.setdefault(cv, set()).add(cu)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct pairs (edges of ``G^p_k``)."""
+        return len(self._pairs)
+
+    @property
+    def num_endpoints(self) -> int:
+        """Number of distinct nodes participating in at least one pair."""
+        return len(self._incidence)
+
+    def pairs(self) -> Set[Pair]:
+        """The canonical pair set (a copy)."""
+        return set(self._pairs)
+
+    def endpoints(self) -> Set[Node]:
+        """The distinct endpoint set (a copy)."""
+        return set(self._incidence)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return canonical_pair(*pair) in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def partners(self, u: Node) -> Set[Node]:
+        """Nodes paired with ``u`` (empty set for non-endpoints)."""
+        return set(self._incidence.get(u, ()))
+
+    def pair_degree(self, u: Node) -> int:
+        """Number of pairs ``u`` participates in."""
+        return len(self._incidence.get(u, ()))
+
+    def pairs_covered_by(self, nodes: Iterable[Node]) -> Set[Pair]:
+        """The pairs with at least one endpoint in ``nodes``."""
+        node_set = set(nodes)
+        covered: Set[Pair] = set()
+        for u in node_set:
+            for v in self._incidence.get(u, ()):
+                covered.add(canonical_pair(u, v))
+        return covered
+
+    def coverage_of(self, nodes: Iterable[Node]) -> float:
+        """Fraction of pairs covered by ``nodes`` (1.0 for an empty graph)."""
+        if not self._pairs:
+            return 1.0
+        return len(self.pairs_covered_by(nodes)) / len(self._pairs)
+
+    def is_vertex_cover(self, nodes: Iterable[Node]) -> bool:
+        """True iff every pair has an endpoint in ``nodes``."""
+        node_set = set(nodes)
+        return all(u in node_set or v in node_set for u, v in self._pairs)
+
+    def degree_ranked_endpoints(self) -> List[Node]:
+        """Endpoints ranked by pair degree (descending, deterministic)."""
+        return sorted(
+            self._incidence,
+            key=lambda u: (-len(self._incidence[u]), repr(u)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PairGraph(pairs={self.num_pairs}, endpoints={self.num_endpoints})"
+        )

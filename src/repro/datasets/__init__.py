@@ -1,0 +1,60 @@
+"""Datasets: synthetic analogues of the paper's four evaluation graphs.
+
+See :mod:`repro.datasets.catalog` for the named presets ("actors",
+"internet", "facebook", "dblp"), :mod:`repro.datasets.generators` for the
+underlying temporal processes, :mod:`repro.datasets.splits` for the
+paper's snapshot splits, and :mod:`repro.datasets.io` for loading real
+edge lists if you have them.
+"""
+
+from repro.datasets.catalog import (
+    DATASETS,
+    DatasetSpec,
+    actors_like,
+    characteristics,
+    dataset_names,
+    dblp_like,
+    facebook_like,
+    internet_like,
+    internet_weighted,
+    load,
+)
+from repro.datasets.generators import (
+    collaboration_stream,
+    community_bridge_stream,
+    forest_fire_stream,
+    hub_spoke_stream,
+    preferential_attachment_stream,
+)
+from repro.datasets.io import read_edge_list, read_edge_stream, write_edge_stream
+from repro.datasets.splits import (
+    EVAL_SPLIT,
+    TRAIN_SPLIT,
+    eval_snapshots,
+    train_snapshots,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "actors_like",
+    "characteristics",
+    "dataset_names",
+    "dblp_like",
+    "facebook_like",
+    "internet_like",
+    "internet_weighted",
+    "load",
+    "collaboration_stream",
+    "community_bridge_stream",
+    "forest_fire_stream",
+    "hub_spoke_stream",
+    "preferential_attachment_stream",
+    "read_edge_list",
+    "read_edge_stream",
+    "write_edge_stream",
+    "EVAL_SPLIT",
+    "TRAIN_SPLIT",
+    "eval_snapshots",
+    "train_snapshots",
+]

@@ -1,0 +1,59 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Every module exposes ``run(config) -> result`` and ``render(result) ->
+str``; the benchmark suite under ``benchmarks/`` drives them and prints
+the paper-shaped rows, and EXPERIMENTS.md records a full-fidelity run.
+
+========  =============================================  ==============================
+Artifact  What it reproduces                             Module
+========  =============================================  ==============================
+Table 1   SSSP budget split per approach (executable)    :mod:`repro.experiments.table1`
+Table 2   Dataset characteristics                        :mod:`repro.experiments.table2`
+Table 3   Pair-graph sizes and greedy covers             :mod:`repro.experiments.table3`
+Table 5   Coverage of all single-feature algorithms      :mod:`repro.experiments.table5`
+Table 6   Unbudgeted Incidence baseline                  :mod:`repro.experiments.table6`
+Figure 1  Coverage vs budget, landmark family            :mod:`repro.experiments.figure1`
+Figure 2  Candidate-quality diagnostics                  :mod:`repro.experiments.figure2`
+Figure 3  Classifiers vs best single algorithm           :mod:`repro.experiments.figure3`
+A-1..A-4  Ablations (landmark count/seeding, IncBet,     :mod:`repro.experiments.ablations`
+          coordinate-embedding extension)
+E-X1/X2   Extension experiments (extended coverage      :mod:`repro.experiments.extensions`
+          table, Selective Expansion study)
+========  =============================================  ==============================
+
+(Table 4 of the paper is the algorithm index — reproduced as the selector
+registry itself, see :mod:`repro.selection`.)
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    bench_config,
+    default_config,
+    smoke_config,
+)
+from repro.experiments.export import result_to_dict, write_json
+from repro.experiments.runner import (
+    DatasetContext,
+    GroundTruth,
+    budget_sweep,
+    build_selector,
+    clear_context_cache,
+    coverage_cell,
+    get_context,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "bench_config",
+    "default_config",
+    "smoke_config",
+    "DatasetContext",
+    "GroundTruth",
+    "budget_sweep",
+    "build_selector",
+    "clear_context_cache",
+    "coverage_cell",
+    "get_context",
+    "result_to_dict",
+    "write_json",
+]

@@ -1,0 +1,62 @@
+"""Machine-readable export of experiment results.
+
+The render functions print paper-layout text; this module turns the same
+result objects into plain JSON-serialisable dictionaries so downstream
+tooling (plotting scripts, dashboards, regression trackers) can consume
+a reproduction run without scraping text.
+
+Every experiment result type is handled by :func:`result_to_dict`; the
+CLI's ``experiment --json`` flag goes through :func:`write_json`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, Path]
+
+
+def _keyed(mapping: dict) -> dict:
+    """JSON objects need string keys; join tuple keys with '/'."""
+    out = {}
+    for key, value in mapping.items():
+        if isinstance(key, tuple):
+            key = "/".join(str(part) for part in key)
+        out[str(key)] = value
+    return out
+
+
+def result_to_dict(result: Any) -> Any:
+    """Recursively convert an experiment result to JSON-ready data.
+
+    Handles dataclasses (all experiment rows/results), dicts with tuple
+    keys (coverage matrices), lists/tuples, and scalars.  Unknown objects
+    fall back to ``repr`` — exports must never crash a finished run.
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {
+            field.name: result_to_dict(getattr(result, field.name))
+            for field in dataclasses.fields(result)
+        }
+    if isinstance(result, dict):
+        return {k: result_to_dict(v) for k, v in _keyed(result).items()}
+    if isinstance(result, (list, tuple)):
+        return [result_to_dict(v) for v in result]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    if hasattr(result, "item"):  # numpy scalars
+        return result.item()
+    return repr(result)
+
+
+def write_json(result: Any, path: PathLike, indent: int = 2) -> None:
+    """Serialise an experiment result to a JSON file."""
+    path = Path(path)
+    payload = result_to_dict(result)
+    path.write_text(
+        json.dumps(payload, indent=indent, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -1,0 +1,81 @@
+"""Experiment E-F2 — Figure 2: candidate-quality diagnostics.
+
+On the Facebook-like dataset (the paper uses Facebook, δ = Δmax−1,
+k = 37), for the landmark and hybrid selectors at increasing budgets:
+
+* (a) the fraction of generated candidates that are endpoints of
+  ``G^p_k`` at all, and
+* (b) the fraction that belong to the greedy vertex cover.
+
+Paper shape: algorithms that cover many pairs also intersect both sets
+heavily, and the SumDiff-based ones have the largest greedy-cover
+intersection — they discover "high-quality" candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.algorithm import find_top_k_converging_pairs
+from repro.core.evaluation import cover_precision, endpoint_precision
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import FIGURE1_SELECTORS
+from repro.experiments.report import curve_block
+from repro.experiments.runner import build_selector, get_context
+
+
+@dataclass
+class Figure2Result:
+    """Per-selector (m, fraction) curves for both panels."""
+
+    dataset: str
+    offset: int
+    endpoint_curves: Dict[str, List[Tuple[int, float]]]  # panel (a)
+    cover_curves: Dict[str, List[Tuple[int, float]]]  # panel (b)
+
+
+def run(
+    config: ExperimentConfig, dataset: str = "facebook", offset: int = 1
+) -> Figure2Result:
+    """Measure both candidate-quality panels across the budget sweep."""
+    ctx = get_context(dataset, config.scale)
+    truth = ctx.truth_at_offset(offset)
+    endpoint_curves: Dict[str, List[Tuple[int, float]]] = {}
+    cover_curves: Dict[str, List[Tuple[int, float]]] = {}
+    for name in FIGURE1_SELECTORS:
+        endpoint_curves[name] = []
+        cover_curves[name] = []
+        for m in config.budget_sweep:
+            selector = build_selector(name, config, ctx)
+            result = find_top_k_converging_pairs(
+                ctx.g1, ctx.g2, k=max(truth.k, 1), m=m, selector=selector,
+                seed=config.seed, validate=False,
+            )
+            endpoint_curves[name].append(
+                (m, endpoint_precision(result.candidates, truth.pair_graph))
+            )
+            cover_curves[name].append(
+                (m, cover_precision(result.candidates, truth.greedy_cover))
+            )
+    return Figure2Result(
+        dataset=dataset,
+        offset=offset,
+        endpoint_curves=endpoint_curves,
+        cover_curves=cover_curves,
+    )
+
+
+def render(result: Figure2Result) -> str:
+    """Text rendering of both panels."""
+    lines = [
+        f"Figure 2 ({result.dataset}, δ = Δmax-{result.offset}): "
+        "candidate quality vs budget"
+    ]
+    lines.append("(a) fraction of candidates that are G^p_k endpoints:")
+    for name in FIGURE1_SELECTORS:
+        lines.append(curve_block(name, result.endpoint_curves[name]))
+    lines.append("(b) fraction of candidates in the greedy cover:")
+    for name in FIGURE1_SELECTORS:
+        lines.append(curve_block(name, result.cover_curves[name]))
+    return "\n".join(lines)

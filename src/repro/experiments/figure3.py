@@ -1,0 +1,70 @@
+"""Experiment E-F3 — Figure 3: classifiers vs the best single algorithm.
+
+For every dataset: coverage-vs-budget curves of the local classifier, the
+global classifier, and the dataset's best single-feature algorithm (which
+differs per dataset — that is the point of learning a combination).
+
+Paper shape: both classifiers catch up with the best single algorithm
+despite their 3·2l landmark set-up handicap; the global classifier lags
+only on the odd-one-out Actors dataset, whose regime is underrepresented
+in its pooled training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import curve_block
+from repro.experiments.runner import budget_sweep, coverage_cell, get_context
+from repro.selection import SINGLE_FEATURE_SELECTORS
+
+
+@dataclass
+class Figure3Result:
+    """Per-dataset: the chosen best algorithm and the three curves."""
+
+    offset: int
+    best_algorithm: Dict[str, str]
+    curves: Dict[str, Dict[str, List[Tuple[int, float]]]]
+
+
+def _best_single_algorithm(
+    ctx, offset: int, config: ExperimentConfig
+) -> str:
+    """The single-feature algorithm with top coverage at the fixed budget."""
+    scores = {
+        name: coverage_cell(ctx, name, config.budget, offset, config)
+        for name in SINGLE_FEATURE_SELECTORS
+    }
+    return max(scores, key=lambda n: (scores[n], n))
+
+
+def run(config: ExperimentConfig, offset: int = 1) -> Figure3Result:
+    """Sweep budgets for L-/G-Classifier and the per-dataset best."""
+    best: Dict[str, str] = {}
+    curves: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for name in config.datasets:
+        ctx = get_context(name, config.scale)
+        best[name] = _best_single_algorithm(ctx, offset, config)
+        curves[name] = budget_sweep(
+            ctx,
+            ("L-Classifier", "G-Classifier", best[name]),
+            offset,
+            config,
+        )
+    return Figure3Result(offset=offset, best_algorithm=best, curves=curves)
+
+
+def render(result: Figure3Result) -> str:
+    """Text rendering: three series per dataset."""
+    lines = [
+        f"Figure 3: classifiers vs best single algorithm "
+        f"(δ = Δmax-{result.offset})"
+    ]
+    for dataset, series in result.curves.items():
+        lines.append(f"{dataset} (best single: {result.best_algorithm[dataset]}):")
+        for name, curve in series.items():
+            lines.append(curve_block(name, curve))
+    return "\n".join(lines)

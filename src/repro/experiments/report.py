@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results, paper-table style.
+
+Nothing here affects the science — these helpers exist so benchmark runs
+print rows directly comparable to the paper's tables and so
+EXPERIMENTS.md is generated rather than hand-copied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Monospace table with a header rule, right-aligned numeric cells."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([_fmt(cell) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = []
+        for i, cell in enumerate(cells):
+            if _is_numeric(cell):
+                padded.append(cell.rjust(widths[i]))
+            else:
+                padded.append(cell.ljust(widths[i]))
+        return "  ".join(padded).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell - round(cell)) < 1e-9 and abs(cell) < 1e12:
+            return str(int(round(cell)))
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def percent(value: float) -> str:
+    """Coverage fraction → the paper's one-decimal percent string."""
+    return f"{100.0 * value:.1f}"
+
+
+def curve_block(
+    name: str, curve: Sequence[Tuple[int, float]], indent: str = "  "
+) -> str:
+    """One cost–coverage series rendered as ``m -> coverage%`` pairs."""
+    points = ", ".join(f"m={m}: {percent(cov)}%" for m, cov in curve)
+    return f"{indent}{name:14s} {points}"

@@ -1,0 +1,307 @@
+"""Shared experiment machinery: dataset contexts, ground truth, sweeps.
+
+Everything expensive — snapshot materialisation, the Δ histogram, the
+per-δ ground truth, greedy covers, trained classifiers — is computed once
+per (dataset, scale) and cached in a :class:`DatasetContext`, so the
+table/figure modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cover import greedy_vertex_cover
+from repro.core.evaluation import candidate_pair_coverage
+from repro.core.pairgraph import PairGraph
+from repro.core.pairs import (
+    ConvergingPair,
+    converging_pairs_at_threshold,
+    delta_histogram,
+    k_for_delta_threshold,
+)
+from repro.core.algorithm import find_top_k_converging_pairs
+from repro.datasets import catalog
+from repro.datasets.splits import eval_snapshots
+from repro.experiments.config import ExperimentConfig
+from repro.graph.dynamic import TemporalGraph
+from repro.graph.graph import Graph
+from repro.ml.training import (
+    TrainedModel,
+    train_global_classifier,
+    train_local_classifier,
+)
+from repro.selection import get_selector
+from repro.selection.base import CandidateSelector
+
+
+@dataclass
+class GroundTruth:
+    """Exact answer at one δ threshold."""
+
+    delta_min: float
+    k: int
+    pairs: List[ConvergingPair]
+    pair_graph: PairGraph
+    greedy_cover: List
+
+
+@dataclass
+class DatasetContext:
+    """One dataset instance with cached evaluation artefacts."""
+
+    name: str
+    scale: float
+    temporal: TemporalGraph
+    g1: Graph
+    g2: Graph
+    histogram: Dict[float, int]
+    max_delta: float
+    _truths: Dict[float, GroundTruth] = field(default_factory=dict)
+    _incident_bet: Dict[Optional[int], Dict] = field(default_factory=dict)
+
+    def delta_for_offset(self, offset: int) -> float:
+        """δ = max(1, Δmax − offset) — the paper's per-column thresholds."""
+        return max(1.0, self.max_delta - offset)
+
+    def truth_at_offset(self, offset: int) -> GroundTruth:
+        """Ground truth (pairs, pair graph, greedy cover) at an offset."""
+        return self.truth_at_delta(self.delta_for_offset(offset))
+
+    def distinct_offsets(self, offsets) -> list:
+        """Drop offsets whose clamped δ duplicates an earlier one.
+
+        On shallow datasets (Δmax = 2) the paper's three offsets collapse
+        to fewer distinct thresholds; tables probe each δ once.
+        """
+        seen = set()
+        out = []
+        for offset in offsets:
+            delta = self.delta_for_offset(offset)
+            if delta not in seen:
+                seen.add(delta)
+                out.append(offset)
+        return out
+
+    def incident_bet_scores(self, pivots: Optional[int]) -> Dict:
+        """Cached per-node incident-betweenness increase (IncBet input).
+
+        The edge-betweenness pass is the most expensive single step in the
+        experiment suite and is independent of the budget and δ, so it is
+        computed once per dataset instance and estimator fidelity.
+        """
+        if pivots not in self._incident_bet:
+            from repro.selection.incidence import incident_betweenness_increase
+
+            rng = np.random.default_rng(0)
+            self._incident_bet[pivots] = incident_betweenness_increase(
+                self.g1, self.g2, pivots, rng
+            )
+        return self._incident_bet[pivots]
+
+    def truth_at_delta(self, delta_min: float) -> GroundTruth:
+        """Ground truth at an explicit δ, cached."""
+        if delta_min not in self._truths:
+            pairs = converging_pairs_at_threshold(
+                self.g1, self.g2, delta_min, validate=False
+            )
+            pg = PairGraph(pairs)
+            self._truths[delta_min] = GroundTruth(
+                delta_min=delta_min,
+                k=len(pairs),
+                pairs=pairs,
+                pair_graph=pg,
+                greedy_cover=greedy_vertex_cover(pg),
+            )
+        return self._truths[delta_min]
+
+
+_CONTEXT_CACHE: Dict[Tuple[str, float], DatasetContext] = {}
+
+
+def get_context(name: str, scale: float) -> DatasetContext:
+    """Build (or fetch) the cached context of a catalog dataset."""
+    key = (name, scale)
+    if key not in _CONTEXT_CACHE:
+        temporal = catalog.load(name, scale=scale)
+        g1, g2 = eval_snapshots(temporal)
+        hist = delta_histogram(g1, g2, validate=False)
+        positive = [d for d in hist if d > 0]
+        _CONTEXT_CACHE[key] = DatasetContext(
+            name=name,
+            scale=scale,
+            temporal=temporal,
+            g1=g1,
+            g2=g2,
+            histogram=dict(hist),
+            max_delta=max(positive) if positive else 0.0,
+        )
+    return _CONTEXT_CACHE[key]
+
+
+def clear_context_cache() -> None:
+    """Drop all cached dataset contexts (tests use this for isolation)."""
+    _CONTEXT_CACHE.clear()
+    _CANDIDATE_CACHE.clear()
+    _trained_local.cache_clear()
+    _trained_global.cache_clear()
+
+
+def build_selector(
+    name: str, config: ExperimentConfig, context: Optional[DatasetContext] = None
+) -> CandidateSelector:
+    """Instantiate a selector by paper name with config-driven kwargs.
+
+    Classifier selectors are trained on demand (cached per dataset/scale)
+    using the disjoint 20%/40% training split.
+    """
+    lname = name.lower()
+    if lname in ("sumdiff", "maxdiff", "mmsd", "mmmd", "masd", "mamd",
+                 "coorddiff"):
+        return get_selector(name, num_landmarks=config.num_landmarks)
+    if lname == "incbet":
+        if context is not None:
+            return get_selector(
+                name,
+                pivots=config.incbet_pivots,
+                precomputed_scores=context.incident_bet_scores(
+                    config.incbet_pivots
+                ),
+            )
+        return get_selector(name, pivots=config.incbet_pivots)
+    if lname == "increcv":
+        return get_selector(name, pivots=config.incbet_pivots)
+    if lname == "l-classifier":
+        if context is None:
+            raise ValueError("L-Classifier needs a dataset context")
+        model = _trained_local(
+            context.name, context.scale, config.num_landmarks, config.seed
+        )
+        return get_selector(name, model=model)
+    if lname == "g-classifier":
+        model = _trained_global(
+            tuple(sorted(config.datasets)),
+            config.scale,
+            config.num_landmarks,
+            config.seed,
+        )
+        return get_selector(name, model=model)
+    return get_selector(name)
+
+
+@lru_cache(maxsize=None)
+def _trained_local(
+    name: str, scale: float, num_landmarks: int, seed: int
+) -> TrainedModel:
+    context = get_context(name, scale)
+    return train_local_classifier(
+        context.temporal, num_landmarks=num_landmarks, seed=seed
+    )
+
+
+@lru_cache(maxsize=None)
+def _trained_global(
+    names: Tuple[str, ...], scale: float, num_landmarks: int, seed: int
+) -> TrainedModel:
+    temporals = {n: get_context(n, scale).temporal for n in names}
+    return train_global_classifier(
+        temporals, num_landmarks=num_landmarks, seed=seed
+    )
+
+
+def _is_randomised(selector_name: str) -> bool:
+    """Whether a selector's output depends on the RNG (repeat-averaged)."""
+    return selector_name.lower() in (
+        "maxmin",
+        "maxavg",
+        "sumdiff",
+        "maxdiff",
+        "mmsd",
+        "mmmd",
+        "masd",
+        "mamd",
+        "coorddiff",
+        "l-classifier",
+        "g-classifier",
+    )
+
+
+_CANDIDATE_CACHE: Dict[Tuple, List[List]] = {}
+
+
+def candidate_sets(
+    context: DatasetContext,
+    selector_name: str,
+    m: int,
+    config: ExperimentConfig,
+) -> List[List]:
+    """The selector's candidate lists (one per repeat seed), cached.
+
+    Candidate generation does not depend on the δ threshold, so a single
+    selection run serves every offset column of Table 5 and every truth
+    set of the figures.  Keyed by everything that influences selection.
+    """
+    repeats = config.repeats if _is_randomised(selector_name) else 1
+    key = (
+        context.name, context.scale, selector_name.lower(), m,
+        config.num_landmarks, config.incbet_pivots, config.seed, repeats,
+    )
+    if key not in _CANDIDATE_CACHE:
+        runs: List[List] = []
+        for r in range(repeats):
+            selector = build_selector(selector_name, config, context)
+            result = find_top_k_converging_pairs(
+                context.g1,
+                context.g2,
+                k=1,
+                m=m,
+                selector=selector,
+                seed=config.seed + r,
+                validate=False,
+            )
+            runs.append(result.candidates)
+        _CANDIDATE_CACHE[key] = runs
+    return _CANDIDATE_CACHE[key]
+
+
+def coverage_cell(
+    context: DatasetContext,
+    selector_name: str,
+    m: int,
+    offset: int,
+    config: ExperimentConfig,
+) -> float:
+    """Mean coverage of one (dataset, algorithm, δ, m) cell.
+
+    Randomised selectors are averaged over ``config.repeats`` seeds;
+    deterministic ones run once.  Coverage is evaluated directly on the
+    candidate sets (provably equal to running Algorithm 1 end to end with
+    the δ-threshold k — asserted by the integration tests).
+    """
+    truth = context.truth_at_offset(offset)
+    if truth.k == 0:
+        return 1.0
+    scores = [
+        candidate_pair_coverage(candidates, truth.pairs)
+        for candidates in candidate_sets(context, selector_name, m, config)
+    ]
+    return float(np.mean(scores))
+
+
+def budget_sweep(
+    context: DatasetContext,
+    selector_names: Sequence[str],
+    offset: int,
+    config: ExperimentConfig,
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Coverage-vs-budget curves for several selectors at one δ offset."""
+    curves: Dict[str, List[Tuple[int, float]]] = {}
+    for name in selector_names:
+        curves[name] = [
+            (m, coverage_cell(context, name, m, offset, config))
+            for m in config.budget_sweep
+        ]
+    return curves

@@ -1,0 +1,191 @@
+"""Minimal dependency-free SVG line charts for the figure experiments.
+
+The environment has no plotting library, and the paper's Figures 1–3 are
+simple multi-series line charts (coverage vs budget).  This module
+renders exactly that shape as standalone SVG — axes, ticks, polylines,
+point markers, and a legend — so ``scripts/generate_figures.py`` can
+turn the experiment results into real figure files next to
+EXPERIMENTS.md.
+
+Scope is deliberately tiny: one chart type, numeric axes, y fixed to
+[0, 1] by default (coverage).  Anything fancier belongs in a real
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+Point = Tuple[float, float]
+
+#: Distinguishable default palette (colorblind-safe-ish hues).
+PALETTE = (
+    "#1b6ca8",  # blue
+    "#d1495b",  # red
+    "#2e933c",  # green
+    "#8f2d56",  # plum
+    "#e09f3e",  # ochre
+    "#3d5a80",  # slate
+    "#7768ae",  # violet
+    "#50808e",  # teal
+)
+
+#: Per-series marker shapes, cycled alongside the palette.
+MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    """Roughly ``count`` evenly spaced ticks across [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    step = (hi - lo) / max(count - 1, 1)
+    return [lo + i * step for i in range(count)]
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    if shape == "square":
+        return (
+            f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" height="6" '
+            f'fill="{color}"/>'
+        )
+    if shape == "diamond":
+        return (
+            f'<polygon points="{x:.1f},{y - 4:.1f} {x + 4:.1f},{y:.1f} '
+            f'{x:.1f},{y + 4:.1f} {x - 4:.1f},{y:.1f}" fill="{color}"/>'
+        )
+    if shape == "triangle":
+        return (
+            f'<polygon points="{x:.1f},{y - 4:.1f} {x + 4:.1f},{y + 3:.1f} '
+            f'{x - 4:.1f},{y + 3:.1f}" fill="{color}"/>'
+        )
+    return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.2" fill="{color}"/>'
+
+
+def line_chart(
+    series: Dict[str, Sequence[Point]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 560,
+    height: int = 360,
+    y_range: Optional[Tuple[float, float]] = (0.0, 1.0),
+    percent_y: bool = True,
+) -> str:
+    """Render named (x, y) series as a standalone SVG string.
+
+    Parameters
+    ----------
+    series:
+        Mapping of legend label to points; series are drawn in mapping
+        order with cycling colors/markers.
+    y_range:
+        Fixed y span (default [0, 1], the coverage scale); ``None``
+        autoscales to the data.
+    percent_y:
+        Render y tick labels as percentages.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ValueError("series contain no points")
+
+    x_lo = min(p[0] for p in all_points)
+    x_hi = max(p[0] for p in all_points)
+    if y_range is None:
+        y_lo = min(p[1] for p in all_points)
+        y_hi = max(p[1] for p in all_points)
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+    else:
+        y_lo, y_hi = y_range
+
+    margin_left, margin_right = 62, 150
+    margin_top, margin_bottom = 42, 48
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def sx(x: float) -> float:
+        if x_hi == x_lo:
+            return margin_left + plot_w / 2
+        return margin_left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_top + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="13" font-weight="bold">{escape(title)}</text>'
+        )
+
+    # Axes and grid.
+    axis = 'stroke="#444" stroke-width="1"'
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_h}" {axis}/>'
+    )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" {axis}/>'
+    )
+    for tick in _nice_ticks(y_lo, y_hi):
+        y = sy(tick)
+        label = f"{100 * tick:.0f}%" if percent_y else f"{tick:g}"
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{label}</text>'
+        )
+    for tick in sorted({p[0] for p in all_points}):
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_top + plot_h + 4}" {axis}/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_top + plot_h + 16}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_left + plot_w / 2:.0f}" y="{height - 10}" '
+            f'text-anchor="middle">{escape(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="16" y="{margin_top + plot_h / 2:.0f}" '
+            f'text-anchor="middle" transform="rotate(-90 16 '
+            f'{margin_top + plot_h / 2:.0f})">{escape(y_label)}</text>'
+        )
+
+    # Series.
+    legend_x = margin_left + plot_w + 14
+    for i, (name, points) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        marker = MARKERS[i % len(MARKERS)]
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in points:
+            parts.append(_marker(marker, sx(x), sy(y), color))
+        ly = margin_top + 10 + i * 18
+        parts.append(_marker(marker, legend_x + 5, ly - 3, color))
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{ly}">{escape(str(name))}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,80 @@
+"""Experiment E-T5 — Table 5: coverage of every single-feature algorithm.
+
+The paper's main results table: for a fixed budget (m = 100 there, the
+config's ``budget`` here) and each dataset x δ column, the percentage of
+the top-k converging pairs covered by every algorithm of Table 4.
+
+The shape findings the accompanying benchmark asserts:
+
+* Degree is near zero everywhere except the dense Actors-like graph;
+* SumDiff beats MaxDiff consistently;
+* the hybrids are at or near the top (MMSD typically best);
+* the budgeted Incidence rankers trail the landmark family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table, percent
+from repro.experiments.runner import coverage_cell, get_context
+from repro.selection import SINGLE_FEATURE_SELECTORS
+
+
+@dataclass
+class Table5Result:
+    """Coverage matrix plus the column metadata (δ and k per column)."""
+
+    algorithms: Tuple[str, ...]
+    columns: List[Tuple[str, int, float, int]]  # (dataset, offset, δ, k)
+    coverage: Dict[Tuple[str, str, int], float]  # (algo, dataset, offset)
+
+    def best_algorithm(self, dataset: str, offset: int) -> str:
+        """Best single-feature algorithm for one column (Figure 3 needs it)."""
+        return max(
+            self.algorithms,
+            key=lambda a: self.coverage[(a, dataset, offset)],
+        )
+
+
+def run(config: ExperimentConfig) -> Table5Result:
+    """Fill the full coverage matrix at the fixed budget."""
+    columns: List[Tuple[str, int, float, int]] = []
+    coverage: Dict[Tuple[str, str, int], float] = {}
+    for name in config.datasets:
+        ctx = get_context(name, config.scale)
+        for offset in ctx.distinct_offsets(config.delta_offsets):
+            truth = ctx.truth_at_offset(offset)
+            columns.append((name, offset, truth.delta_min, truth.k))
+            for algo in SINGLE_FEATURE_SELECTORS:
+                coverage[(algo, name, offset)] = coverage_cell(
+                    ctx, algo, config.budget, offset, config
+                )
+    return Table5Result(
+        algorithms=tuple(SINGLE_FEATURE_SELECTORS),
+        columns=columns,
+        coverage=coverage,
+    )
+
+
+def render(result: Table5Result) -> str:
+    """Paper-layout matrix: algorithms x (dataset, δ) columns, percent."""
+    headers = ["Algorithm"] + [
+        f"{ds}:δ={delta:g}(k={k})" for ds, _, delta, k in result.columns
+    ]
+    rows = []
+    for algo in result.algorithms:
+        row = [algo]
+        for ds, offset, _, _ in result.columns:
+            row.append(percent(result.coverage[(algo, ds, offset)]))
+        rows.append(row)
+    return format_table(
+        headers=headers,
+        rows=rows,
+        title=(
+            "Table 5: coverage (%) of the top-k converging pairs at fixed "
+            "budget m"
+        ),
+    )

@@ -1,0 +1,149 @@
+"""Brandes betweenness centrality (node and edge variants).
+
+The Incidence family of baselines from Laxman & al. [14] ranks active
+nodes by the *importance* of their new incident edges — an estimate of
+edge betweenness built from sampled shortest-path trees.  The paper's
+evaluation grants that baseline the **exact** edge betweenness ("giving an
+advantage to the Incidence algorithm"); we therefore implement exact
+Brandes for both nodes and edges, plus the sampled-pivot approximation for
+completeness and for the ablation benchmarks.
+
+Reference: U. Brandes, "A Faster Algorithm for Betweenness Centrality",
+J. Math. Sociol. 25(2), 2001.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+Node = Hashable
+EdgeKey = Tuple[Node, Node]
+
+
+def _edge_key(u: Node, v: Node) -> EdgeKey:
+    """Canonical (sorted) key for an undirected edge.
+
+    Sorting uses ``repr`` as a total-order fallback so heterogeneous node
+    types never raise; homogeneous int/str graphs sort naturally.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def _brandes_accumulate(
+    graph: Graph,
+    sources: Iterable[Node],
+    want_nodes: bool,
+    want_edges: bool,
+) -> Tuple[Dict[Node, float], Dict[EdgeKey, float]]:
+    """Shared Brandes accumulation over a set of source pivots."""
+    node_bc: Dict[Node, float] = {u: 0.0 for u in graph.nodes()}
+    edge_bc: Dict[EdgeKey, float] = {}
+    if want_edges:
+        edge_bc = {_edge_key(u, v): 0.0 for u, v in graph.edges()}
+
+    for s in sources:
+        # Single-source shortest-path DAG via BFS (unweighted).
+        stack: List[Node] = []
+        pred: Dict[Node, List[Node]] = {}
+        sigma: Dict[Node, float] = {s: 1.0}
+        dist: Dict[Node, int] = {s: 0}
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            stack.append(u)
+            du = dist[u]
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = du + 1
+                    queue.append(v)
+                if dist[v] == du + 1:
+                    sigma[v] = sigma.get(v, 0.0) + sigma[u]
+                    pred.setdefault(v, []).append(u)
+        # Back-propagation of dependencies.
+        delta: Dict[Node, float] = {u: 0.0 for u in stack}
+        while stack:
+            w = stack.pop()
+            coeff = (1.0 + delta[w]) / sigma[w]
+            for u in pred.get(w, ()):
+                contrib = sigma[u] * coeff
+                if want_edges:
+                    edge_bc[_edge_key(u, w)] += contrib
+                delta[u] += contrib
+            if want_nodes and w != s:
+                node_bc[w] += delta[w]
+    return node_bc, edge_bc
+
+
+def _normalise_undirected(bc: Dict, factor: float) -> None:
+    for key in bc:
+        bc[key] *= factor
+
+
+def node_betweenness(graph: Graph, normalized: bool = True) -> Dict[Node, float]:
+    """Exact node betweenness centrality (unweighted shortest paths).
+
+    With ``normalized=True`` values are divided by ``(n-1)(n-2)`` (the
+    number of ordered pairs excluding the node), matching the common
+    undirected-graph convention.
+    """
+    bc, _ = _brandes_accumulate(graph, graph.nodes(), True, False)
+    n = graph.num_nodes
+    # Each unordered pair is accumulated from both endpoints as sources.
+    scale = 0.5
+    if normalized and n > 2:
+        scale /= (n - 1) * (n - 2) / 2.0
+    _normalise_undirected(bc, scale)
+    return bc
+
+
+def edge_betweenness(graph: Graph, normalized: bool = True) -> Dict[EdgeKey, float]:
+    """Exact edge betweenness centrality (unweighted shortest paths).
+
+    Keys are canonical (sorted) edge tuples.  With ``normalized=True``
+    values are divided by ``n(n-1)/2``.
+    """
+    _, bc = _brandes_accumulate(graph, graph.nodes(), False, True)
+    n = graph.num_nodes
+    scale = 0.5
+    if normalized and n > 1:
+        scale /= n * (n - 1) / 2.0
+    _normalise_undirected(bc, scale)
+    return bc
+
+
+def approximate_edge_betweenness(
+    graph: Graph,
+    num_pivots: int,
+    rng: Optional[np.random.Generator] = None,
+    normalized: bool = True,
+) -> Dict[EdgeKey, float]:
+    """Sampled-pivot edge betweenness (the estimator [14] actually uses).
+
+    Accumulates Brandes dependencies from ``num_pivots`` uniformly sampled
+    source nodes and rescales by ``n / num_pivots``, the standard unbiased
+    pivot estimator.  With ``num_pivots >= n`` this degrades gracefully to
+    the exact computation.
+    """
+    if num_pivots <= 0:
+        raise ValueError(f"num_pivots must be positive, got {num_pivots}")
+    rng = rng if rng is not None else np.random.default_rng()
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if num_pivots >= n:
+        return edge_betweenness(graph, normalized=normalized)
+    pivot_idx = rng.choice(n, size=num_pivots, replace=False)
+    pivots = [nodes[i] for i in pivot_idx]
+    _, bc = _brandes_accumulate(graph, pivots, False, True)
+    scale = 0.5 * (n / num_pivots)
+    if normalized and n > 1:
+        scale /= n * (n - 1) / 2.0
+    _normalise_undirected(bc, scale)
+    return bc

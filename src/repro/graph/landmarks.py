@@ -1,0 +1,129 @@
+"""Landmark distance tables and snapshot-to-snapshot delta vectors.
+
+The landmark-based selectors (SumDiff, MaxDiff and the four hybrids)
+associate each node ``u`` with two l-dimensional vectors
+``DL1(u)[i] = d_t1(u, w_i)`` and ``DL2(u)[i] = d_t2(u, w_i)`` over an
+ordered landmark set ``L = (w_1, ..., w_l)``, and rank nodes by a norm of
+the per-landmark decrease ``DL1(u) - DL2(u)`` (clamped at 0 — distances
+cannot increase under edge insertions, and nodes unreachable from a
+landmark in either snapshot contribute 0 for that landmark).
+
+Each landmark costs exactly one SSSP per snapshot, which is how the
+paper's budget accounting charges 2l to the landmark phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import single_source_distances
+
+Node = Hashable
+
+
+class LandmarkTable:
+    """Distances from an ordered landmark set to a node universe.
+
+    Attributes
+    ----------
+    landmarks:
+        The ordered landmark tuple ``(w_1, ..., w_l)``.
+    nodes:
+        The node universe (rows of :attr:`matrix` align with it).
+    matrix:
+        ``float32`` array of shape ``(len(nodes), l)``; ``inf`` marks a
+        node unreachable from that landmark.
+    """
+
+    def __init__(
+        self, landmarks: Sequence[Node], nodes: Sequence[Node], matrix: np.ndarray
+    ) -> None:
+        if matrix.shape != (len(nodes), len(landmarks)):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match "
+                f"({len(nodes)} nodes, {len(landmarks)} landmarks)"
+            )
+        self.landmarks: List[Node] = list(landmarks)
+        self.nodes: List[Node] = list(nodes)
+        self.index: Dict[Node, int] = {u: i for i, u in enumerate(self.nodes)}
+        self.matrix = matrix
+
+    @property
+    def num_landmarks(self) -> int:
+        """Number of landmarks l."""
+        return len(self.landmarks)
+
+    def vector(self, u: Node) -> np.ndarray:
+        """The l-dimensional landmark distance vector of ``u``."""
+        return self.matrix[self.index[u]]
+
+    def estimate_distance(self, u: Node, v: Node) -> float:
+        """Triangle-inequality upper bound ``min_i d(u,w_i) + d(w_i,v)``.
+
+        Not used by the paper's selectors (they rank on *changes*), but a
+        standard landmark application worth exposing; also exercised by
+        the test suite as a sanity invariant.
+        """
+        est = self.matrix[self.index[u]] + self.matrix[self.index[v]]
+        return float(est.min()) if est.size else float("inf")
+
+
+def landmark_distance_table(
+    graph: Graph,
+    landmarks: Sequence[Node],
+    nodes: Sequence[Node],
+) -> LandmarkTable:
+    """Build a :class:`LandmarkTable` with one SSSP per landmark.
+
+    Landmarks absent from ``graph`` yield an all-``inf`` column (this can
+    happen legitimately: dispersion-selected landmarks always exist in
+    ``G_t1``, but a caller probing an arbitrary landmark list should not
+    crash).
+    """
+    node_list = list(nodes)
+    index = {u: i for i, u in enumerate(node_list)}
+    matrix = np.full((len(node_list), len(landmarks)), np.inf, dtype=np.float32)
+    for j, w in enumerate(landmarks):
+        if w not in graph:
+            continue
+        dist = single_source_distances(graph, w)
+        for v, d in dist.items():
+            i = index.get(v)
+            if i is not None:
+                matrix[i, j] = d
+    return LandmarkTable(landmarks, node_list, matrix)
+
+
+def landmark_delta_vectors(
+    table1: LandmarkTable, table2: LandmarkTable
+) -> np.ndarray:
+    """Per-node, per-landmark distance *decreases* between two snapshots.
+
+    ``table1``/``table2`` must share landmarks and node universe.  Entries
+    where either snapshot has no finite distance contribute 0 (no measured
+    change); negative raw deltas — impossible for true subgraph snapshots
+    but conceivable with approximate inputs — are clamped to 0.
+    """
+    if table1.landmarks != table2.landmarks:
+        raise ValueError("landmark sets differ between snapshots")
+    if table1.nodes != table2.nodes:
+        raise ValueError("node universes differ between snapshots")
+    finite = np.isfinite(table1.matrix) & np.isfinite(table2.matrix)
+    with np.errstate(invalid="ignore"):
+        delta = np.where(finite, table1.matrix - table2.matrix, 0.0)
+    return np.maximum(delta, 0.0).astype(np.float32)
+
+
+def delta_l1_norms(delta: np.ndarray) -> np.ndarray:
+    """Row-wise L1 norms of a delta matrix (the SumDiff score)."""
+    return delta.sum(axis=1)
+
+
+def delta_linf_norms(delta: np.ndarray) -> np.ndarray:
+    """Row-wise L-infinity norms of a delta matrix (the MaxDiff score)."""
+    if delta.shape[1] == 0:
+        return np.zeros(delta.shape[0], dtype=np.float32)
+    return delta.max(axis=1)

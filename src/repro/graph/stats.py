@@ -1,0 +1,126 @@
+"""Structural statistics: clustering, degree distributions, assortativity.
+
+These are not used by the paper's algorithms; they exist to *calibrate*
+the synthetic dataset analogues against their real counterparts' known
+regimes (collaboration graphs have high clustering because teams project
+to cliques; the AS graph is disassortative because stubs attach to hubs;
+preferential attachment yields heavy-tailed degrees).  The calibration
+tests in ``tests/test_datasets_regimes.py`` assert exactly those facts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+Node = Hashable
+
+
+def local_clustering(graph: Graph, node: Node) -> float:
+    """Fraction of a node's neighbor pairs that are themselves connected.
+
+    0.0 for nodes of degree < 2 (no neighbor pairs to close).
+    """
+    neighbors = list(graph.neighbors(node))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_set = set(neighbors)
+    for i, u in enumerate(neighbors):
+        # Iterate over the smaller adjacency for each pair check.
+        for v in graph.neighbors(u):
+            if v in neighbor_set and repr(v) > repr(u):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering coefficient over all nodes (0 if empty)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    total = sum(local_clustering(graph, u) for u in graph.nodes())
+    return total / graph.num_nodes
+
+
+def transitivity(graph: Graph) -> float:
+    """Global clustering: ``3 * triangles / open-or-closed triads``."""
+    triangles = 0
+    triads = 0
+    for u in graph.nodes():
+        k = graph.degree(u)
+        triads += k * (k - 1) // 2
+        neighbors = set(graph.neighbors(u))
+        for v in neighbors:
+            # Count each triangle at each of its three corners once.
+            for w in graph.neighbors(v):
+                if w in neighbors and repr(w) > repr(v):
+                    triangles += 1
+    if triads == 0:
+        return 0.0
+    # Each triangle was counted once per corner = 3 times total.
+    return triangles / triads
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Mapping of degree value to node count."""
+    return dict(Counter(graph.degrees().values()))
+
+
+def degree_gini(graph: Graph) -> float:
+    """Gini coefficient of the degree distribution (0 = uniform).
+
+    A scale-free-ish graph (preferential attachment) scores well above a
+    near-regular one; the regime tests use this as a heavy-tail proxy
+    that is more robust than fitting a power-law exponent at small n.
+    """
+    degrees = np.array(sorted(graph.degrees().values()), dtype=float)
+    n = degrees.size
+    if n == 0 or degrees.sum() == 0:
+        return 0.0
+    cum = np.cumsum(degrees)
+    # Standard Gini formula on sorted values.
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def degree_assortativity(graph: Graph) -> Optional[float]:
+    """Pearson correlation of degrees across edges.
+
+    Negative for hub-and-spoke topologies (AS graph), positive for
+    social/collaboration graphs.  ``None`` when undefined (fewer than
+    2 edges, or zero variance).
+    """
+    xs = []
+    ys = []
+    for u, v in graph.edges():
+        du, dv = graph.degree(u), graph.degree(v)
+        # Count each edge in both orientations so the measure is
+        # symmetric (the standard convention).
+        xs.extend((du, dv))
+        ys.extend((dv, du))
+    if len(xs) < 4:
+        return None
+    x = np.array(xs, dtype=float)
+    y = np.array(ys, dtype=float)
+    if x.std() == 0 or y.std() == 0:
+        return None
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def summary(graph: Graph) -> Dict[str, float]:
+    """One-call structural fingerprint used by the calibration tests."""
+    assort = degree_assortativity(graph)
+    return {
+        "nodes": float(graph.num_nodes),
+        "edges": float(graph.num_edges),
+        "density": graph.density(),
+        "max_degree": float(graph.max_degree()),
+        "average_clustering": average_clustering(graph),
+        "transitivity": transitivity(graph),
+        "degree_gini": degree_gini(graph),
+        "degree_assortativity": float("nan") if assort is None else assort,
+    }

@@ -1,0 +1,227 @@
+"""Single-source and point-to-point shortest-path traversals.
+
+Hop-count BFS is the distance engine of the whole reproduction (the paper's
+graphs are unweighted); Dijkstra handles the weighted generalisation the
+problem definition allows.  :func:`single_source_distances` dispatches on
+the graph's weightedness so callers never have to choose.
+
+All distance maps contain only *reachable* nodes: absence of a key means
+infinite distance, which mirrors the paper's restriction to connected
+pairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+
+Node = Hashable
+INF = float("inf")
+
+
+def bfs_distances(graph: Graph, source: Node) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node.
+
+    Runs in ``O(n + m)``.  The source itself maps to 0.
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    dist: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_distances_bounded(
+    graph: Graph, source: Node, max_depth: int
+) -> Dict[Node, int]:
+    """Like :func:`bfs_distances` but truncated at ``max_depth`` hops.
+
+    Useful for neighborhood queries (e.g. Selective Expansion looks only
+    at direct neighbors).  ``max_depth`` of 0 returns just the source.
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    if max_depth < 0:
+        raise ValueError(f"max_depth must be >= 0, got {max_depth}")
+    dist: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if du == max_depth:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_tree(graph: Graph, source: Node) -> Tuple[Dict[Node, int], Dict[Node, Node]]:
+    """BFS distances plus a predecessor map for path reconstruction.
+
+    Returns ``(dist, parent)`` where ``parent[source]`` is absent.
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    dist: Dict[Node, int] = {source: 0}
+    parent: Dict[Node, Node] = {}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def dijkstra_distances(graph: Graph, source: Node) -> Dict[Node, float]:
+    """Weighted shortest-path distances from ``source`` (binary heap).
+
+    Runs in ``O((n + m) log n)``.  Edge weights must be positive, which
+    :class:`~repro.graph.graph.Graph` already enforces.
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    dist: Dict[Node, float] = {}
+    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
+    counter = 0  # tie-breaker so heterogeneous nodes never get compared
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        for v, w in graph.adjacency(u).items():
+            if v not in dist:
+                counter += 1
+                heapq.heappush(heap, (d + w, counter, v))
+    return dist
+
+
+def dijkstra_tree(
+    graph: Graph, source: Node
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Dijkstra distances plus predecessor map, analogous to :func:`bfs_tree`."""
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    dist: Dict[Node, float] = {}
+    parent: Dict[Node, Node] = {}
+    best: Dict[Node, float] = {source: 0.0}
+    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        for v, w in graph.adjacency(u).items():
+            nd = d + w
+            if v not in dist and nd < best.get(v, INF):
+                best[v] = nd
+                parent[v] = u
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+    return dist, parent
+
+
+def single_source_distances(graph: Graph, source: Node) -> Dict[Node, float]:
+    """Distances from ``source``: BFS hops if unweighted, Dijkstra otherwise.
+
+    This is the "one SSSP computation" unit the paper's budget counts.
+    """
+    if graph.is_weighted():
+        return dijkstra_distances(graph, source)
+    return dict(bfs_distances(graph, source))
+
+
+def bidirectional_bfs(graph: Graph, source: Node, target: Node) -> Optional[int]:
+    """Point-to-point hop distance via alternating frontier expansion.
+
+    Returns ``None`` if ``target`` is unreachable.  Expands the smaller
+    frontier each round, which is asymptotically ``O(b^(d/2))`` on
+    branching-factor-``b`` graphs versus ``O(b^d)`` for plain BFS.
+    """
+    if source not in graph:
+        raise KeyError(f"source {source!r} not in graph")
+    if target not in graph:
+        raise KeyError(f"target {target!r} not in graph")
+    if source == target:
+        return 0
+    dist_s: Dict[Node, int] = {source: 0}
+    dist_t: Dict[Node, int] = {target: 0}
+    frontier_s = {source}
+    frontier_t = {target}
+    while frontier_s and frontier_t:
+        # Expand the smaller side.
+        if len(frontier_s) <= len(frontier_t):
+            frontier, dist, other = frontier_s, dist_s, dist_t
+            forward = True
+        else:
+            frontier, dist, other = frontier_t, dist_t, dist_s
+            forward = False
+        nxt = set()
+        best = None
+        for u in frontier:
+            du = dist[u]
+            for v in graph.neighbors(u):
+                if v in other:
+                    total = du + 1 + other[v]
+                    if best is None or total < best:
+                        best = total
+                if v not in dist:
+                    dist[v] = du + 1
+                    nxt.add(v)
+        if best is not None:
+            return best
+        if forward:
+            frontier_s = nxt
+        else:
+            frontier_t = nxt
+    return None
+
+
+def shortest_path_length(graph: Graph, source: Node, target: Node) -> Optional[float]:
+    """Point-to-point distance; ``None`` if disconnected.
+
+    Uses bidirectional BFS for unweighted graphs and a full Dijkstra run
+    otherwise (the experiments never need weighted point-to-point queries
+    in bulk, so no weighted bidirectional search is provided).
+    """
+    if graph.is_weighted():
+        return dijkstra_distances(graph, source).get(target)
+    return bidirectional_bfs(graph, source, target)
+
+
+def reconstruct_path(
+    parent: Dict[Node, Node], source: Node, target: Node
+) -> Optional[List[Node]]:
+    """Recover the ``source -> target`` path from a predecessor map.
+
+    ``parent`` must come from :func:`bfs_tree` or :func:`dijkstra_tree`
+    rooted at ``source``.  Returns ``None`` when ``target`` was never
+    reached.
+    """
+    if target == source:
+        return [source]
+    if target not in parent:
+        return None
+    path = [target]
+    node = target
+    while node != source:
+        node = parent[node]
+        path.append(node)
+    path.reverse()
+    return path

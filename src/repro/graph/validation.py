@@ -1,0 +1,63 @@
+"""Structural validation for snapshot pairs.
+
+The problem definition silently assumes several structural facts:
+``G_t1`` is a subgraph of ``G_t2`` (insertion-only evolution), both are
+simple undirected graphs, and edge weights never increase.  Violating any
+of these makes "distance decrease" meaningless, so the public entry points
+validate their inputs eagerly with these helpers instead of producing
+garbage rankings.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+
+class GraphValidationError(ValueError):
+    """Raised when a graph or snapshot pair violates problem assumptions."""
+
+
+def check_simple(graph: Graph) -> None:
+    """Verify the graph is simple with positive weights.
+
+    :class:`~repro.graph.graph.Graph` enforces this on construction; the
+    check exists to guard graphs deserialised or built through internal
+    state by power users.
+    """
+    for u, v, w in graph.weighted_edges():
+        if u == v:
+            raise GraphValidationError(f"self loop at node {u!r}")
+        if w <= 0:
+            raise GraphValidationError(
+                f"non-positive weight {w} on edge ({u!r}, {v!r})"
+            )
+
+
+def check_snapshot_pair(g1: Graph, g2: Graph) -> None:
+    """Verify ``g1`` is a (weight-non-increasing) subgraph of ``g2``.
+
+    Raises
+    ------
+    GraphValidationError
+        If a node or edge of ``g1`` is missing from ``g2``, or an edge got
+        *heavier* in ``g2`` (which could make distances increase and break
+        the non-negativity of the convergence score).
+    """
+    for u in g1.nodes():
+        if u not in g2:
+            raise GraphValidationError(
+                f"node {u!r} present at t1 but missing at t2 "
+                "(the model is insertion-only)"
+            )
+    for u, v, w1 in g1.weighted_edges():
+        if not g2.has_edge(u, v):
+            raise GraphValidationError(
+                f"edge ({u!r}, {v!r}) present at t1 but missing at t2 "
+                "(the model is insertion-only)"
+            )
+        w2 = g2.weight(u, v)
+        if w2 > w1:
+            raise GraphValidationError(
+                f"edge ({u!r}, {v!r}) weight increased {w1} -> {w2}; "
+                "distances must be non-increasing"
+            )

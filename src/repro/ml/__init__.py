@@ -1,0 +1,53 @@
+"""Machine-learning substrate for the classification-based selectors.
+
+The paper trains LIBLINEAR logistic-regression models whose positive
+class is the greedy vertex cover of the pair graph; this subpackage
+rebuilds that pipeline without any ML dependency:
+
+* :mod:`repro.ml.logistic` — L2-regularised logistic regression
+  (scipy L-BFGS with a pure-numpy gradient-descent fallback).
+* :mod:`repro.ml.scaling` — the paper's [-1, 1] feature normalisation.
+* :mod:`repro.ml.features` — node features (degrees + landmark-delta
+  norms for random / MaxMin / MaxAvg landmarks) and graph-level features
+  (density, max degree) for the global model.
+* :mod:`repro.ml.training` — training-set assembly from an earlier
+  snapshot pair and local/global model fitting.
+"""
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaling import MinMaxScaler
+from repro.ml.features import (
+    GRAPH_FEATURE_NAMES,
+    NODE_FEATURE_NAMES,
+    FeatureResult,
+    extract_node_features,
+    graph_level_features,
+)
+from repro.ml.training import (
+    TrainedModel,
+    build_training_examples,
+    train_global_classifier,
+    train_local_classifier,
+)
+from repro.ml.persistence import (
+    ModelPersistenceError,
+    load_model,
+    save_model,
+)
+
+__all__ = [
+    "LogisticRegression",
+    "MinMaxScaler",
+    "GRAPH_FEATURE_NAMES",
+    "NODE_FEATURE_NAMES",
+    "FeatureResult",
+    "extract_node_features",
+    "graph_level_features",
+    "TrainedModel",
+    "build_training_examples",
+    "train_global_classifier",
+    "train_local_classifier",
+    "ModelPersistenceError",
+    "load_model",
+    "save_model",
+]

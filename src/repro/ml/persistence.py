@@ -1,0 +1,117 @@
+"""Saving and loading trained classifier models.
+
+A :class:`~repro.ml.training.TrainedModel` is a handful of numpy arrays
+plus metadata; persistence uses a single ``.npz`` archive so models can
+be trained once (the expensive part: ground truth on the training
+snapshots) and reused across sessions, processes, and the CLI.
+
+The format is deliberately explicit — every field is stored under its
+own key, the format is versioned, and loading validates shapes — so a
+stale or truncated file fails loudly instead of mis-ranking nodes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaling import MinMaxScaler
+from repro.ml.training import TrainedModel
+
+PathLike = Union[str, Path]
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class ModelPersistenceError(ValueError):
+    """Raised when a model file is missing fields or inconsistent."""
+
+
+def save_model(model: TrainedModel, path: PathLike) -> None:
+    """Serialise a trained model bundle to a ``.npz`` archive."""
+    if model.model.coef_ is None:
+        raise ModelPersistenceError("cannot save an unfitted model")
+    if model.scaler.data_min_ is None:
+        raise ModelPersistenceError("cannot save an unfitted scaler")
+    path = Path(path)
+    np.savez(
+        path,
+        format_version=np.array(FORMAT_VERSION),
+        coef=model.model.coef_,
+        intercept=np.array(model.model.intercept_),
+        l2=np.array(model.model.l2),
+        class_weight=np.array(
+            model.model.class_weight or "", dtype=np.str_
+        ),
+        scaler_min=model.scaler.data_min_,
+        scaler_max=model.scaler.data_max_,
+        scaler_range=np.array(model.scaler.feature_range),
+        feature_names=np.array(model.feature_names, dtype=np.str_),
+        uses_graph_features=np.array(model.uses_graph_features),
+        num_landmarks=np.array(model.num_landmarks),
+        positive_fraction=np.array(model.positive_fraction),
+    )
+
+
+def _require(archive, key: str) -> np.ndarray:
+    if key not in archive:
+        raise ModelPersistenceError(f"model file is missing field {key!r}")
+    return archive[key]
+
+
+def load_model(path: PathLike) -> TrainedModel:
+    """Load a model bundle written by :func:`save_model`.
+
+    Raises
+    ------
+    ModelPersistenceError
+        On unknown format versions, missing fields, or inconsistent
+        shapes between the classifier and the scaler.
+    """
+    path = Path(path)
+    # np.savez appends .npz when absent; mirror that on load.
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(_require(archive, "format_version"))
+        if version != FORMAT_VERSION:
+            raise ModelPersistenceError(
+                f"unsupported model format version {version} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        coef = _require(archive, "coef")
+        class_weight = str(_require(archive, "class_weight")) or None
+        logistic = LogisticRegression(
+            l2=float(_require(archive, "l2")), class_weight=class_weight
+        )
+        logistic.coef_ = coef
+        logistic.intercept_ = float(_require(archive, "intercept"))
+
+        lo, hi = (float(x) for x in _require(archive, "scaler_range"))
+        scaler = MinMaxScaler(feature_range=(lo, hi))
+        scaler.data_min_ = _require(archive, "scaler_min")
+        scaler.data_max_ = _require(archive, "scaler_max")
+
+        feature_names = tuple(str(n) for n in _require(archive, "feature_names"))
+        if coef.shape[0] != len(feature_names):
+            raise ModelPersistenceError(
+                f"coefficient count {coef.shape[0]} does not match "
+                f"{len(feature_names)} feature names"
+            )
+        if scaler.data_min_.shape[0] != len(feature_names):
+            raise ModelPersistenceError(
+                "scaler dimensionality does not match the feature names"
+            )
+
+        return TrainedModel(
+            model=logistic,
+            scaler=scaler,
+            feature_names=feature_names,
+            uses_graph_features=bool(_require(archive, "uses_graph_features")),
+            num_landmarks=int(_require(archive, "num_landmarks")),
+            positive_fraction=float(_require(archive, "positive_fraction")),
+        )

@@ -1,0 +1,68 @@
+"""Feature scaling to the paper's [-1, 1] interval.
+
+"All features are normalised in the interval [-1, 1]" — a plain min-max
+affine map fitted on the training pool and reapplied verbatim at test
+time.  Constant columns map to 0 (no information, no division by zero);
+test-time values outside the training range extrapolate linearly, which
+preserves the ranking the selectors rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Affine per-feature scaler onto a fixed range (default [-1, 1]).
+
+    Examples
+    --------
+    >>> scaler = MinMaxScaler()
+    >>> X = np.array([[0.0, 5.0], [10.0, 5.0]])
+    >>> scaler.fit_transform(X)
+    array([[-1.,  0.],
+           [ 1.,  0.]])
+    """
+
+    def __init__(self, feature_range: Tuple[float, float] = (-1.0, 1.0)) -> None:
+        lo, hi = feature_range
+        if lo >= hi:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        """Record per-column minima/maxima of the training matrix."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty matrix")
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map columns onto the target range using the fitted extrema."""
+        if self.data_min_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.shape[1] != self.data_min_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} columns; scaler was fitted on "
+                f"{self.data_min_.shape[0]}"
+            )
+        lo, hi = self.feature_range
+        span = self.data_max_ - self.data_min_
+        safe_span = np.where(span == 0, 1.0, span)
+        unit = (X - self.data_min_) / safe_span
+        scaled = lo + unit * (hi - lo)
+        midpoint = (lo + hi) / 2.0
+        return np.where(span == 0, midpoint, scaled)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """:meth:`fit` then :meth:`transform` in one call."""
+        return self.fit(X).transform(X)

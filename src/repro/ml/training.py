@@ -1,0 +1,201 @@
+"""Training pipelines for the local and global classifiers (Section 5.3).
+
+The trick that makes the classifiers work is the paper's definition of a
+*good endpoint*: membership in the **greedy vertex cover** of the pair
+graph.  Training therefore needs ground truth, which is why it runs on an
+*earlier, cheaper* snapshot pair — 20% and 40% of the edge stream — while
+evaluation uses the disjoint 80%/100% pair.
+
+* **Local classifier** (``L-Classifier``): one model per dataset, node
+  features only.
+* **Global classifier** (``G-Classifier``): one model trained on all
+  datasets pooled *in equal proportions*, with the four graph-level
+  features appended so it can adapt to unseen graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cover import greedy_vertex_cover
+from repro.core.pairgraph import PairGraph
+from repro.core.pairs import converging_pairs_at_threshold, delta_histogram
+from repro.graph.dynamic import TemporalGraph
+from repro.graph.graph import Graph
+from repro.ml.features import (
+    GRAPH_FEATURE_NAMES,
+    NODE_FEATURE_NAMES,
+    append_graph_features,
+    extract_node_features,
+    graph_level_features,
+)
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaling import MinMaxScaler
+
+Node = Hashable
+
+#: The paper's training split: snapshots at 20% and 40% of the edges.
+TRAIN_SPLIT = (0.2, 0.4)
+
+
+@dataclass
+class TrainedModel:
+    """A fitted classifier bundle, ready to drive a selector.
+
+    Attributes
+    ----------
+    model:
+        The fitted :class:`~repro.ml.logistic.LogisticRegression`.
+    scaler:
+        The [-1, 1] scaler fitted on the training pool.
+    feature_names:
+        Column names, for introspection/debugging.
+    uses_graph_features:
+        True for the global model (expects 14 columns, not 10).
+    num_landmarks:
+        The landmark count l used during feature extraction; selection
+        reuses it (clamped to the test-time budget).
+    positive_fraction:
+        Share of positive labels in the training pool (diagnostics).
+    """
+
+    model: LogisticRegression
+    scaler: MinMaxScaler
+    feature_names: Tuple[str, ...]
+    uses_graph_features: bool
+    num_landmarks: int
+    positive_fraction: float
+
+    def score_nodes(self, matrix: np.ndarray) -> np.ndarray:
+        """Cover-membership probability for raw (unscaled) feature rows."""
+        return self.model.predict_proba(self.scaler.transform(matrix))
+
+
+def training_delta_threshold(
+    g1: Graph, g2: Graph, delta_offset: int
+) -> Optional[float]:
+    """The δ threshold ``Δmax − delta_offset`` on a snapshot pair.
+
+    Returns ``None`` when no pair converges at all (degenerate streams),
+    and clamps the threshold at 1 so the positive class is never "every
+    pair".
+    """
+    hist = delta_histogram(g1, g2)
+    positive = [d for d in hist if d > 0]
+    if not positive:
+        return None
+    return max(1.0, max(positive) - delta_offset)
+
+
+def build_training_examples(
+    temporal: TemporalGraph,
+    delta_offset: int = 1,
+    num_landmarks: int = 10,
+    seed: Optional[int] = None,
+    split: Tuple[float, float] = TRAIN_SPLIT,
+) -> Tuple[np.ndarray, np.ndarray, Graph, Graph]:
+    """Features and cover labels from a dataset's training snapshot pair.
+
+    Returns ``(X, y, g1_train, g2_train)`` where ``X`` holds the 10 raw
+    node features for every node of the training ``G_t1`` and ``y`` marks
+    greedy-cover membership at δ = Δmax − ``delta_offset``.
+    """
+    g1, g2 = temporal.snapshot_pair(*split)
+    rng = np.random.default_rng(seed)
+    feats = extract_node_features(g1, g2, num_landmarks, rng)
+
+    threshold = training_delta_threshold(g1, g2, delta_offset)
+    if threshold is None:
+        labels = np.zeros(len(feats.nodes), dtype=float)
+        return feats.matrix, labels, g1, g2
+    pairs = converging_pairs_at_threshold(g1, g2, threshold)
+    cover = set(greedy_vertex_cover(PairGraph(pairs)))
+    labels = np.array(
+        [1.0 if u in cover else 0.0 for u in feats.nodes], dtype=float
+    )
+    return feats.matrix, labels, g1, g2
+
+
+def train_local_classifier(
+    temporal: TemporalGraph,
+    delta_offset: int = 1,
+    num_landmarks: int = 10,
+    seed: Optional[int] = None,
+    l2: float = 1.0,
+) -> TrainedModel:
+    """Fit the per-dataset L-Classifier on the 20%/40% training pair."""
+    X, y, _, _ = build_training_examples(
+        temporal, delta_offset, num_landmarks, seed
+    )
+    scaler = MinMaxScaler()
+    Xs = scaler.fit_transform(X)
+    model = LogisticRegression(l2=l2).fit(Xs, y)
+    return TrainedModel(
+        model=model,
+        scaler=scaler,
+        feature_names=NODE_FEATURE_NAMES,
+        uses_graph_features=False,
+        num_landmarks=num_landmarks,
+        positive_fraction=float(y.mean()),
+    )
+
+
+def train_global_classifier(
+    temporals: Dict[str, TemporalGraph],
+    delta_offset: int = 1,
+    num_landmarks: int = 10,
+    seed: Optional[int] = None,
+    l2: float = 1.0,
+) -> TrainedModel:
+    """Fit the cross-dataset G-Classifier.
+
+    Each dataset contributes its training pair's node rows, extended with
+    that pair's graph-level features; datasets are then subsampled to
+    **equal proportions** (the size of the smallest one) before fitting,
+    as in the paper.
+    """
+    if not temporals:
+        raise ValueError("need at least one dataset to train on")
+    rng = np.random.default_rng(seed)
+    per_dataset: List[Tuple[np.ndarray, np.ndarray]] = []
+    for name in sorted(temporals):
+        X, y, g1, g2 = build_training_examples(
+            temporals[name], delta_offset, num_landmarks,
+            seed=int(rng.integers(2**31)),
+        )
+        Xg = append_graph_features(X, graph_level_features(g1, g2))
+        per_dataset.append((Xg, y))
+
+    smallest = min(X.shape[0] for X, _ in per_dataset)
+    pooled_X: List[np.ndarray] = []
+    pooled_y: List[np.ndarray] = []
+    for X, y in per_dataset:
+        if X.shape[0] > smallest:
+            # Keep every positive example (they are scarce) and fill the
+            # remainder with a random sample of negatives.
+            pos_idx = np.flatnonzero(y > 0.5)
+            neg_idx = np.flatnonzero(y <= 0.5)
+            keep_pos = pos_idx[:smallest]
+            room = smallest - keep_pos.size
+            keep_neg = rng.choice(neg_idx, size=room, replace=False)
+            keep = np.concatenate([keep_pos, keep_neg])
+            X, y = X[keep], y[keep]
+        pooled_X.append(X)
+        pooled_y.append(y)
+
+    X_all = np.vstack(pooled_X)
+    y_all = np.concatenate(pooled_y)
+    scaler = MinMaxScaler()
+    Xs = scaler.fit_transform(X_all)
+    model = LogisticRegression(l2=l2).fit(Xs, y_all)
+    return TrainedModel(
+        model=model,
+        scaler=scaler,
+        feature_names=NODE_FEATURE_NAMES + GRAPH_FEATURE_NAMES,
+        uses_graph_features=True,
+        num_landmarks=num_landmarks,
+        positive_fraction=float(y_all.mean()),
+    )

@@ -1,0 +1,142 @@
+"""Candidate-endpoint selection algorithms (Section 4 of the paper).
+
+Every algorithm of Table 4 is available here, under its paper name, via
+:func:`get_selector`:
+
+========== ===========================================================
+Name       Description
+========== ===========================================================
+Degree     Largest ``deg_t1(u)``.
+DegDiff    Largest ``deg_t2(u) − deg_t1(u)``.
+DegRel     Largest ``(deg_t2(u) − deg_t1(u)) / deg_t1(u)``.
+MaxMin     Greedy dispersion maximising the minimum pairwise distance.
+MaxAvg     Greedy dispersion maximising the average pairwise distance.
+SumDiff    Largest L1 landmark-delta norm, random landmarks.
+MaxDiff    Largest L∞ landmark-delta norm, random landmarks.
+MMSD       MaxMin landmarks + SumDiff scoring.
+MMMD       MaxMin landmarks + MaxDiff scoring.
+MASD       MaxAvg landmarks + SumDiff scoring.
+MAMD       MaxAvg landmarks + MaxDiff scoring.
+IncDeg     Active nodes by degree difference [14].
+IncDeg2    Active nodes by raw t2 degree [14] (omitted from Table 5).
+IncRecv    Active nodes by received-edge importance [14] (omitted).
+IncBet     Active nodes by incident-edge betweenness increase [14].
+CoordDiff  Orion-style embedding displacement (extension).
+L-Classifier  Per-dataset logistic-regression selector (needs a model).
+G-Classifier  Cross-dataset logistic-regression selector (needs a model).
+========== ===========================================================
+
+The unbudgeted Incidence originals and the greedy-cover oracle are
+importable but deliberately unregistered.  ``CoordDiff`` — an Orion-style
+coordinate-embedding selector, the extension the paper's related work
+points at — is registered alongside the paper algorithms but excluded
+from :data:`SINGLE_FEATURE_SELECTORS` (it is not part of Table 4).
+"""
+
+from repro.selection.base import (
+    GENERATION_PHASE,
+    TOPK_PHASE,
+    CandidateSelector,
+    SelectionResult,
+    available_selectors,
+    get_selector,
+    rank_take,
+    register_selector,
+)
+from repro.selection.centrality import (
+    DegDiffSelector,
+    DegreeSelector,
+    DegRelSelector,
+)
+from repro.selection.dispersion import (
+    MaxAvgSelector,
+    MaxMinSelector,
+    greedy_dispersion,
+)
+from repro.selection.landmark import (
+    DEFAULT_NUM_LANDMARKS,
+    MaxDiffSelector,
+    SumDiffSelector,
+    sample_landmarks,
+)
+from repro.selection.hybrid import (
+    MAMDSelector,
+    MASDSelector,
+    MMMDSelector,
+    MMSDSelector,
+)
+from repro.selection.incidence import (
+    IncBetSelector,
+    IncDeg2Selector,
+    IncDegSelector,
+    IncidenceResult,
+    IncRecvSelector,
+    active_nodes,
+    new_edges,
+    run_incidence_algorithm,
+    run_selective_expansion,
+)
+from repro.selection.classifier import (
+    GlobalClassifierSelector,
+    LocalClassifierSelector,
+)
+from repro.selection.embedding import CoordDiffSelector, classical_mds, trilaterate
+from repro.selection.oracle import GreedyCoverOracle
+
+#: The twelve single-feature algorithms of Table 5, in the paper's order.
+SINGLE_FEATURE_SELECTORS = (
+    "Degree",
+    "DegDiff",
+    "DegRel",
+    "MaxMin",
+    "MaxAvg",
+    "SumDiff",
+    "MaxDiff",
+    "MMSD",
+    "MMMD",
+    "MASD",
+    "MAMD",
+    "IncDeg",
+    "IncBet",
+)
+
+__all__ = [
+    "GENERATION_PHASE",
+    "TOPK_PHASE",
+    "CandidateSelector",
+    "SelectionResult",
+    "available_selectors",
+    "get_selector",
+    "rank_take",
+    "register_selector",
+    "DegreeSelector",
+    "DegDiffSelector",
+    "DegRelSelector",
+    "MaxMinSelector",
+    "MaxAvgSelector",
+    "greedy_dispersion",
+    "DEFAULT_NUM_LANDMARKS",
+    "SumDiffSelector",
+    "MaxDiffSelector",
+    "sample_landmarks",
+    "MMSDSelector",
+    "MMMDSelector",
+    "MASDSelector",
+    "MAMDSelector",
+    "IncDegSelector",
+    "IncDeg2Selector",
+    "IncRecvSelector",
+    "IncBetSelector",
+    "IncidenceResult",
+    "active_nodes",
+    "new_edges",
+    "run_incidence_algorithm",
+    "run_selective_expansion",
+    "LocalClassifierSelector",
+    "GlobalClassifierSelector",
+    "CoordDiffSelector",
+    "classical_mds",
+    "trilaterate",
+    "GreedyCoverOracle",
+    "SINGLE_FEATURE_SELECTORS",
+]

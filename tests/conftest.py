@@ -1,0 +1,136 @@
+"""Shared fixtures and helpers for the test suite.
+
+Conventions:
+
+* ``networkx`` is used strictly as an *oracle* — every nontrivial graph
+  algorithm in :mod:`repro.graph` is cross-checked against it on random
+  instances, but the library itself never imports it.
+* Random graphs are built through :func:`random_temporal_graph` so that
+  snapshot pairs are insertion-only by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.dynamic import TemporalGraph
+from repro.graph.graph import Graph
+
+
+# ----------------------------------------------------------------------
+# Graph construction helpers (importable via the fixtures below)
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> Graph:
+    """0 - 1 - 2 - ... - (n-1)."""
+    return Graph((i, i + 1) for i in range(n - 1))
+
+
+def cycle_graph(n: int) -> Graph:
+    """A simple n-cycle."""
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """Hub 0 with n leaves 1..n."""
+    return Graph((0, i) for i in range(1, n + 1))
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n on nodes 0..n-1."""
+    return Graph((i, j) for i in range(n) for j in range(i + 1, n))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols lattice; node (r, c) is r * cols + c."""
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols)
+    return g
+
+
+def random_temporal_graph(
+    num_nodes: int, num_edges: int, seed: int
+) -> TemporalGraph:
+    """A uniformly random simple temporal graph (insertion-only)."""
+    rng = np.random.default_rng(seed)
+    seen = set()
+    tg = TemporalGraph()
+    t = 0
+    attempts = 0
+    while t < num_edges and attempts < 100 * num_edges:
+        attempts += 1
+        u = int(rng.integers(num_nodes))
+        v = int(rng.integers(num_nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        tg.add_edge(t, *key)
+        t += 1
+    return tg
+
+
+def random_snapshot_pair(
+    num_nodes: int = 60, num_edges: int = 150, seed: int = 0,
+    fraction: float = 0.7,
+) -> Tuple[Graph, Graph]:
+    """An insertion-only random snapshot pair ``(G_t1, G_t2)``."""
+    tg = random_temporal_graph(num_nodes, num_edges, seed)
+    return tg.snapshot_pair(fraction, 1.0)
+
+
+def to_networkx(g: Graph) -> nx.Graph:
+    """Convert to a networkx graph for oracle comparisons."""
+    nxg = nx.Graph()
+    nxg.add_nodes_from(g.nodes())
+    nxg.add_weighted_edges_from(g.weighted_edges())
+    return nxg
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def path5() -> Graph:
+    """A 5-node path graph."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K_3."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """Two disjoint paths: 0-1-2 and 10-11."""
+    g = Graph([(0, 1), (1, 2), (10, 11)])
+    return g
+
+
+@pytest.fixture
+def shortcut_pair() -> Tuple[Graph, Graph]:
+    """A canonical converging-pair fixture.
+
+    ``G_t1`` is the path 0-1-2-3-4-5; ``G_t2`` adds the chord (0, 5).
+    The pair (0, 5) converges by Δ = 5 − 1 = 4, (0, 4) and (1, 5) by 2,
+    and (1, 4) by 0 ... actually d(1,4): t1 = 3, t2 = min(3, 1+1+1) = 3.
+    """
+    g1 = path_graph(6)
+    g2 = g1.copy()
+    g2.add_edge(0, 5)
+    return g1, g2

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("actors", "internet", "facebook", "dblp"):
+            assert name in out
+
+    def test_selectors(self, capsys):
+        assert main(["selectors"]) == 0
+        out = capsys.readouterr().out
+        assert "MMSD" in out and "L-Classifier" in out
+
+
+class TestGenerate:
+    def test_writes_stream(self, tmp_path, capsys):
+        out_file = tmp_path / "fb.tsv"
+        rc = main([
+            "generate", "facebook", "--out", str(out_file), "--scale", "0.1",
+        ])
+        assert rc == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCharacteristics:
+    def test_catalog_input(self, capsys):
+        rc = main(["characteristics", "facebook", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max_delta" in out
+        assert "nodes_t1" in out
+
+    def test_file_input(self, tmp_path, capsys):
+        stream = tmp_path / "s.tsv"
+        main(["generate", "facebook", "--out", str(stream), "--scale", "0.1"])
+        capsys.readouterr()
+        rc = main(["characteristics", str(stream)])
+        assert rc == 0
+        assert "edges_t2" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["characteristics", "/does/not/exist.tsv"])
+
+
+class TestTruth:
+    def test_threshold_mode(self, capsys):
+        rc = main(["truth", "facebook", "--scale", "0.1",
+                   "--delta-offset", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "δ =" in out
+        assert "d_t1" in out
+
+    def test_explicit_k(self, capsys):
+        rc = main(["truth", "facebook", "--scale", "0.1", "--k", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") <= 10  # header + 5 pairs and maybe ellipsis
+
+
+class TestTopk:
+    def test_budgeted_run(self, capsys):
+        rc = main([
+            "topk", "facebook", "--scale", "0.1", "--selector", "MMSD",
+            "--m", "15", "--k", "10", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "budget: 30/30" in out
+        assert "candidates (15)" in out
+
+    def test_plain_selector_without_landmark_kwarg(self, capsys):
+        rc = main([
+            "topk", "facebook", "--scale", "0.1", "--selector", "DegRel",
+            "--m", "10", "--k", "5",
+        ])
+        assert rc == 0
+        assert "budget: 20/20" in capsys.readouterr().out
+
+    def test_file_roundtrip(self, tmp_path, capsys):
+        stream = tmp_path / "s.tsv"
+        main(["generate", "internet", "--out", str(stream), "--scale", "0.1"])
+        capsys.readouterr()
+        rc = main(["topk", str(stream), "--m", "10", "--k", "5"])
+        assert rc == 0
+
+
+class TestExperiment:
+    def test_table2(self, capsys):
+        rc = main(["experiment", "table2", "--scale", "0.15"])
+        assert rc == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "table7"])
+
+
+class TestTrainAndModelDriven:
+    def test_train_saves_model(self, tmp_path, capsys):
+        out = tmp_path / "model.npz"
+        rc = main([
+            "train", "facebook", "--scale", "0.15", "--out", str(out),
+            "--landmarks", "3",
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "trained local classifier" in capsys.readouterr().out
+
+    def test_topk_with_saved_model(self, tmp_path, capsys):
+        out = tmp_path / "model.npz"
+        main(["train", "facebook", "--scale", "0.15", "--out", str(out),
+              "--landmarks", "3"])
+        capsys.readouterr()
+        rc = main([
+            "topk", "facebook", "--scale", "0.15", "--m", "15", "--k", "5",
+            "--model", str(out),
+        ])
+        assert rc == 0
+        assert "budget: 30/30" in capsys.readouterr().out
+
+
+class TestMonitor:
+    def test_monitor_runs_windows(self, capsys):
+        rc = main([
+            "monitor", "dblp", "--scale", "0.15",
+            "--checkpoints", "0.5,0.75,1.0", "--m", "10", "--k", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("window") == 2
+        assert "total SSSPs" in out
+
+
+class TestErrorPaths:
+    def test_unknown_selector_message(self):
+        with pytest.raises(SystemExit, match="known selectors"):
+            main(["topk", "facebook", "--scale", "0.1",
+                  "--selector", "NotReal", "--m", "5", "--k", "3"])

@@ -1,0 +1,270 @@
+"""Unit tests for repro.core.algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro.core.algorithm import find_top_k_converging_pairs
+from repro.core.budget import BudgetExceededError, SPBudget
+from repro.core.pairgraph import PairGraph
+from repro.core.pairs import converging_pairs_at_threshold, top_k_converging_pairs
+from repro.graph.graph import Graph
+from repro.graph.validation import GraphValidationError
+from repro.selection.base import CandidateSelector, SelectionResult
+from repro.selection.oracle import GreedyCoverOracle
+
+from conftest import path_graph, random_snapshot_pair
+
+
+class FixedSelector(CandidateSelector):
+    """Test double returning a fixed candidate list (no generation cost)."""
+
+    name = "Fixed"
+
+    def __init__(self, candidates, d1_rows=None, d2_rows=None,
+                 generation_cost=0):
+        self.candidates = candidates
+        self.d1_rows = d1_rows or {}
+        self.d2_rows = d2_rows or {}
+        self.generation_cost = generation_cost
+
+    def select(self, g1, g2, m, budget, rng=None):
+        if self.generation_cost:
+            budget.charge("generation", "g1", self.generation_cost)
+        return SelectionResult(
+            candidates=list(self.candidates),
+            d1_rows=dict(self.d1_rows),
+            d2_rows=dict(self.d2_rows),
+        )
+
+
+class TestBasicOperation:
+    def test_finds_pair_via_candidate(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        result = find_top_k_converging_pairs(
+            g1, g2, k=1, m=1, selector=FixedSelector([0])
+        )
+        assert result.pairs[0].pair == (0, 5)
+        assert result.pairs[0].delta == 4
+
+    def test_misses_pair_without_covering_candidate(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        result = find_top_k_converging_pairs(
+            g1, g2, k=1, m=1, selector=FixedSelector([2])
+        )
+        # Node 2's best converging partner is weaker than (0, 5).
+        assert result.pairs == [] or result.pairs[0].pair != (0, 5)
+
+    def test_no_duplicate_pairs_when_both_endpoints_selected(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        result = find_top_k_converging_pairs(
+            g1, g2, k=10, m=2, selector=FixedSelector([0, 5])
+        )
+        assert len({p.pair for p in result.pairs}) == len(result.pairs)
+
+    def test_pairs_ranked_by_delta(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        result = find_top_k_converging_pairs(
+            g1, g2, k=10, m=2, selector=FixedSelector([0, 5])
+        )
+        deltas = [p.delta for p in result.pairs]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_zero_delta_pairs_excluded(self, path5):
+        result = find_top_k_converging_pairs(
+            path5, path5, k=5, m=2, selector=FixedSelector([0, 1])
+        )
+        assert result.pairs == []
+
+    def test_candidates_recorded(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        result = find_top_k_converging_pairs(
+            g1, g2, k=1, m=2, selector=FixedSelector([0, 3])
+        )
+        assert result.candidates == [0, 3]
+
+    def test_found_pair_set(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        result = find_top_k_converging_pairs(
+            g1, g2, k=3, m=1, selector=FixedSelector([0])
+        )
+        assert (0, 5) in result.found_pair_set()
+
+
+class TestArgumentValidation:
+    def test_bad_k(self, shortcut_pair):
+        with pytest.raises(ValueError, match="k"):
+            find_top_k_converging_pairs(
+                *shortcut_pair, k=0, m=1, selector=FixedSelector([0])
+            )
+
+    def test_bad_m(self, shortcut_pair):
+        with pytest.raises(ValueError, match="m"):
+            find_top_k_converging_pairs(
+                *shortcut_pair, k=1, m=0, selector=FixedSelector([0])
+            )
+
+    def test_snapshot_validation_on_by_default(self):
+        g1, g2 = path_graph(4), path_graph(3)
+        with pytest.raises(GraphValidationError):
+            find_top_k_converging_pairs(
+                g1, g2, k=1, m=1, selector=FixedSelector([0])
+            )
+
+    def test_selector_overreturning_candidates_rejected(self, shortcut_pair):
+        with pytest.raises(ValueError, match="candidates"):
+            find_top_k_converging_pairs(
+                *shortcut_pair, k=1, m=1, selector=FixedSelector([0, 1, 2])
+            )
+
+
+class TestBudget:
+    def test_budget_spent_is_two_per_candidate(self, shortcut_pair):
+        result = find_top_k_converging_pairs(
+            *shortcut_pair, k=1, m=3, selector=FixedSelector([0, 2, 4])
+        )
+        assert result.budget.spent == 6
+        assert result.budget.by_phase() == {"topk": 6}
+
+    def test_cached_rows_not_recharged(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        from repro.graph.traversal import bfs_distances
+
+        selector = FixedSelector(
+            [0],
+            d1_rows={0: dict(bfs_distances(g1, 0))},
+            d2_rows={0: dict(bfs_distances(g2, 0))},
+        )
+        result = find_top_k_converging_pairs(g1, g2, k=1, m=1, selector=selector)
+        assert result.budget.spent == 0
+        assert result.pairs[0].pair == (0, 5)
+
+    def test_generation_cost_counts_against_budget(self, shortcut_pair):
+        selector = FixedSelector([0], generation_cost=1)
+        result = find_top_k_converging_pairs(
+            *shortcut_pair, k=1, m=2, selector=selector
+        )
+        assert result.budget.spent == 3  # 1 generation + 2 topk
+
+    def test_budget_overdraft_raises(self, shortcut_pair):
+        # Generation eats the whole 2m budget; candidate SSSPs overdraw.
+        selector = FixedSelector([0], generation_cost=2)
+        with pytest.raises(BudgetExceededError):
+            find_top_k_converging_pairs(
+                *shortcut_pair, k=1, m=1, selector=selector
+            )
+
+    def test_budget_limit_override(self, shortcut_pair):
+        result = find_top_k_converging_pairs(
+            *shortcut_pair, k=1, m=1, selector=FixedSelector([0]),
+            budget_limit=None,
+        )
+        assert result.budget.limit is None
+
+
+class TestWithOracle:
+    def test_oracle_recovers_full_truth(self):
+        g1, g2 = random_snapshot_pair(seed=61)
+        truth = converging_pairs_at_threshold(g1, g2, 1)
+        if not truth:
+            pytest.skip("degenerate random instance")
+        pg = PairGraph(truth)
+        cover_size = len(
+            find_top_k_converging_pairs(
+                g1, g2, k=len(truth), m=pg.num_endpoints,
+                selector=GreedyCoverOracle(pg), validate=False,
+            ).candidates
+        )
+        result = find_top_k_converging_pairs(
+            g1, g2, k=len(truth), m=max(cover_size, 1),
+            selector=GreedyCoverOracle(pg), validate=False,
+        )
+        assert result.found_pair_set() == {p.pair for p in truth}
+
+    def test_oracle_matches_exact_top_k(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        truth = top_k_converging_pairs(g1, g2, k=3)
+        pg = PairGraph(truth)
+        result = find_top_k_converging_pairs(
+            g1, g2, k=3, m=3, selector=GreedyCoverOracle(pg)
+        )
+        assert result.found_pair_set() == {p.pair for p in truth}
+
+
+class TestCSRScoringPath:
+    """The vectorised top-k phase must handle every cache mix exactly
+    like the dict path (which the weighted branch still uses)."""
+
+    def _run_both(self, g1, g2, selector, k=5, m=5):
+        from repro.core import algorithm as alg
+
+        fast = find_top_k_converging_pairs(g1, g2, k=k, m=m,
+                                           selector=selector, seed=0)
+        original = alg._score_candidates_csr
+        alg._score_candidates_csr = alg._score_candidates_dict
+        try:
+            ref = find_top_k_converging_pairs(g1, g2, k=k, m=m,
+                                              selector=selector, seed=0)
+        finally:
+            alg._score_candidates_csr = original
+        return fast, ref
+
+    def test_no_cached_rows(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        fast, ref = self._run_both(g1, g2, FixedSelector([0, 3]))
+        assert [(p.pair, p.d1, p.d2) for p in fast.pairs] == [
+            (p.pair, p.d1, p.d2) for p in ref.pairs
+        ]
+        assert fast.budget.spent == ref.budget.spent == 4
+
+    def test_d1_cached_only(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        from repro.graph.traversal import bfs_distances
+
+        selector = FixedSelector(
+            [0], d1_rows={0: dict(bfs_distances(g1, 0))}
+        )
+        fast, ref = self._run_both(g1, g2, selector)
+        assert fast.budget.spent == ref.budget.spent == 1
+        assert fast.found_pair_set() == ref.found_pair_set()
+
+    def test_d2_cached_only(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        from repro.graph.traversal import bfs_distances
+
+        selector = FixedSelector(
+            [0], d2_rows={0: dict(bfs_distances(g2, 0))}
+        )
+        fast, ref = self._run_both(g1, g2, selector)
+        assert fast.budget.spent == ref.budget.spent == 1
+        assert fast.found_pair_set() == ref.found_pair_set()
+
+    def test_both_cached(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        from repro.graph.traversal import bfs_distances
+
+        selector = FixedSelector(
+            [0],
+            d1_rows={0: dict(bfs_distances(g1, 0))},
+            d2_rows={0: dict(bfs_distances(g2, 0))},
+        )
+        fast, ref = self._run_both(g1, g2, selector)
+        assert fast.budget.spent == ref.budget.spent == 0
+        assert fast.pairs[0].pair == (0, 5)
+
+    def test_new_t2_nodes_do_not_confuse_alignment(self):
+        # G_t2 gains nodes; level arrays must align on V_t1 only.
+        g1 = Graph([(0, 1), (1, 2), (2, 3)])
+        g2 = g1.copy()
+        g2.add_edge(3, 9)   # new node 9
+        g2.add_edge(9, 0)   # ... closing a cycle through it
+        fast, ref = self._run_both(g1, g2, FixedSelector([0, 3]), k=5, m=2)
+        assert fast.found_pair_set() == ref.found_pair_set()
+        assert (0, 3) in fast.found_pair_set()  # 3 -> 2 via node 9
+
+    def test_weighted_pair_uses_dict_path(self):
+        g1 = Graph([(0, 1, 2.0), (1, 2, 2.0)])
+        g2 = g1.copy()
+        g2.add_edge(0, 2, 0.5)
+        result = find_top_k_converging_pairs(
+            g1, g2, k=2, m=2, selector=FixedSelector([0, 2])
+        )
+        assert result.pairs[0].delta == pytest.approx(3.5)

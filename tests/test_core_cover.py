@@ -1,0 +1,188 @@
+"""Unit tests for repro.core.cover (greedy vertex cover / max coverage)."""
+
+import itertools
+
+import pytest
+
+from repro.core.cover import greedy_max_coverage, greedy_vertex_cover
+from repro.core.pairgraph import PairGraph
+
+from conftest import random_snapshot_pair
+
+
+def brute_force_min_cover(pg: PairGraph) -> int:
+    """Size of a true minimum vertex cover (exponential; small inputs only)."""
+    nodes = sorted(pg.endpoints(), key=repr)
+    for size in range(len(nodes) + 1):
+        for combo in itertools.combinations(nodes, size):
+            if pg.is_vertex_cover(combo):
+                return size
+    return 0
+
+
+class TestGreedyVertexCover:
+    def test_star_covered_by_hub(self):
+        pg = PairGraph([(0, i) for i in range(1, 6)])
+        assert greedy_vertex_cover(pg) == [0]
+
+    def test_result_is_a_cover(self):
+        pg = PairGraph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        cover = greedy_vertex_cover(pg)
+        assert pg.is_vertex_cover(cover)
+
+    def test_empty_pairgraph(self):
+        assert greedy_vertex_cover(PairGraph([])) == []
+
+    def test_single_pair(self):
+        cover = greedy_vertex_cover(PairGraph([(7, 9)]))
+        assert len(cover) == 1
+        assert cover[0] in (7, 9)
+
+    def test_pick_order_is_most_covering_first(self):
+        # Node 5 covers 4 pairs, others cover <= 2.
+        pg = PairGraph([(5, 1), (5, 2), (5, 3), (5, 4), (1, 2)])
+        cover = greedy_vertex_cover(pg)
+        assert cover[0] == 5
+
+    def test_deterministic(self):
+        g1, g2 = random_snapshot_pair(seed=51)
+        from repro.core.pairs import converging_pairs_at_threshold
+
+        pairs = converging_pairs_at_threshold(g1, g2, 1)
+        pg = PairGraph(pairs)
+        assert greedy_vertex_cover(pg) == greedy_vertex_cover(pg)
+
+    @pytest.mark.parametrize("seed", [52, 53, 54])
+    def test_within_log_factor_of_optimum(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        pairs = set()
+        while len(pairs) < 10:
+            u, v = int(rng.integers(8)), int(rng.integers(8))
+            if u != v:
+                pairs.add((min(u, v), max(u, v)))
+        pg = PairGraph(pairs)
+        greedy = greedy_vertex_cover(pg)
+        optimum = brute_force_min_cover(pg)
+        assert pg.is_vertex_cover(greedy)
+        # ln(10) ≈ 2.3; the greedy guarantee is H(d_max) * OPT.
+        assert len(greedy) <= 3 * optimum
+
+    def test_lazy_greedy_equals_plain_greedy(self):
+        """The heap-based implementation must match naive greedy exactly."""
+        g1, g2 = random_snapshot_pair(num_nodes=40, num_edges=100, seed=55)
+        from repro.core.pairs import converging_pairs_at_threshold, canonical_pair
+
+        pg = PairGraph(converging_pairs_at_threshold(g1, g2, 1))
+        # Naive reference implementation.
+        uncovered = pg.pairs()
+        naive = []
+        while uncovered:
+            best = min(
+                pg.endpoints(),
+                key=lambda u: (
+                    -sum(
+                        1
+                        for v in pg.partners(u)
+                        if canonical_pair(u, v) in uncovered
+                    ),
+                    repr(u),
+                ),
+            )
+            gain = sum(
+                1 for v in pg.partners(best) if canonical_pair(best, v) in uncovered
+            )
+            if gain == 0:
+                break
+            naive.append(best)
+            for v in pg.partners(best):
+                uncovered.discard(canonical_pair(best, v))
+        assert greedy_vertex_cover(pg) == naive
+
+
+class TestGreedyMaxCoverage:
+    def test_prefix_of_full_cover(self):
+        pg = PairGraph([(0, 1), (0, 2), (0, 3), (3, 4), (5, 6)])
+        full = greedy_vertex_cover(pg)
+        assert greedy_max_coverage(pg, 2) == full[:2]
+
+    def test_budget_zero(self):
+        pg = PairGraph([(0, 1)])
+        assert greedy_max_coverage(pg, 0) == []
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(ValueError):
+            greedy_max_coverage(PairGraph([]), -1)
+
+    def test_budget_exceeding_cover_size(self):
+        pg = PairGraph([(0, 1), (0, 2)])
+        assert greedy_max_coverage(pg, 10) == [0]
+
+    def test_greedy_is_competitive_with_best_single(self):
+        pg = PairGraph([(0, 1), (0, 2), (1, 2), (3, 0)])
+        picked = greedy_max_coverage(pg, 1)
+        best_single = max(pg.endpoints(), key=pg.pair_degree)
+        assert pg.pair_degree(picked[0]) == pg.pair_degree(best_single)
+
+
+class TestExactMinVertexCover:
+    def test_matches_brute_force(self):
+        import numpy as np
+
+        from repro.core.cover import exact_min_vertex_cover
+
+        rng = np.random.default_rng(61)
+        for _ in range(8):
+            pairs = set()
+            while len(pairs) < 9:
+                u, v = int(rng.integers(7)), int(rng.integers(7))
+                if u != v:
+                    pairs.add((min(u, v), max(u, v)))
+            pg = PairGraph(pairs)
+            exact = exact_min_vertex_cover(pg)
+            assert pg.is_vertex_cover(exact)
+            assert len(exact) == brute_force_min_cover(pg)
+
+    def test_never_worse_than_greedy(self):
+        from repro.core.cover import exact_min_vertex_cover
+
+        from conftest import random_snapshot_pair
+        from repro.core.pairs import converging_pairs_at_threshold
+
+        g1, g2 = random_snapshot_pair(num_nodes=30, num_edges=70, seed=62)
+        pairs = converging_pairs_at_threshold(g1, g2, 2)
+        pg = PairGraph(pairs)
+        if pg.num_pairs == 0:
+            pytest.skip("degenerate instance")
+        exact = exact_min_vertex_cover(pg)
+        assert len(exact) <= len(greedy_vertex_cover(pg))
+        assert pg.is_vertex_cover(exact)
+
+    def test_known_greedy_gap_instance(self):
+        """A crown-like instance where greedy overshoots the optimum."""
+        from repro.core.cover import exact_min_vertex_cover
+
+        # Star center a covers 4 pairs; but {b1..b4} also must be covered
+        # pairwise... construct: center a paired to b1..b3, and b1-b2,
+        # b2-b3: optimum {a, b2} (2) vs greedy could pick a then two more.
+        pg = PairGraph([("a", "b1"), ("a", "b2"), ("a", "b3"),
+                        ("b1", "b2"), ("b2", "b3")])
+        exact = exact_min_vertex_cover(pg)
+        assert len(exact) == 2
+        assert set(exact) == {"a", "b2"}
+
+    def test_empty(self):
+        from repro.core.cover import exact_min_vertex_cover
+
+        assert exact_min_vertex_cover(PairGraph([])) == []
+
+    def test_size_guard(self):
+        from repro.core.cover import exact_min_vertex_cover
+
+        pg = PairGraph([(i, i + 1) for i in range(0, 600, 2)])
+        with pytest.raises(ValueError, match="limited"):
+            exact_min_vertex_cover(pg)
+        # Explicit opt-in raises the cap.
+        result = exact_min_vertex_cover(pg, max_pairs=1000)
+        assert pg.is_vertex_cover(result)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.evaluation metrics."""
+
+import pytest
+
+from repro.core.evaluation import (
+    candidate_pair_coverage,
+    cover_precision,
+    coverage,
+    coverage_curve,
+    endpoint_precision,
+)
+from repro.core.pairgraph import PairGraph
+from repro.core.pairs import ConvergingPair
+
+
+TRUTH = [(0, 1), (2, 3), (4, 5)]
+
+
+class TestCoverage:
+    def test_full(self):
+        assert coverage(TRUTH, TRUTH) == 1.0
+
+    def test_partial(self):
+        assert coverage([(0, 1)], TRUTH) == pytest.approx(1 / 3)
+
+    def test_orientation_insensitive(self):
+        assert coverage([(1, 0), (3, 2)], TRUTH) == pytest.approx(2 / 3)
+
+    def test_extra_found_pairs_dont_hurt(self):
+        assert coverage([(0, 1), (9, 9)], TRUTH) == pytest.approx(1 / 3)
+
+    def test_empty_truth(self):
+        assert coverage([(1, 2)], []) == 1.0
+
+    def test_accepts_converging_pairs(self):
+        found = [ConvergingPair(0, 1, 5, 2)]
+        truth = [ConvergingPair(0, 1, 5, 2), ConvergingPair(2, 3, 4, 1)]
+        assert coverage(found, truth) == pytest.approx(0.5)
+
+
+class TestCandidateCoverage:
+    def test_one_endpoint_suffices(self):
+        assert candidate_pair_coverage([0, 2], TRUTH) == pytest.approx(2 / 3)
+
+    def test_both_endpoints_count_once(self):
+        assert candidate_pair_coverage([0, 1], TRUTH) == pytest.approx(1 / 3)
+
+    def test_no_candidates(self):
+        assert candidate_pair_coverage([], TRUTH) == 0.0
+
+    def test_empty_truth(self):
+        assert candidate_pair_coverage([0], []) == 1.0
+
+
+class TestPrecisions:
+    @pytest.fixture
+    def pg(self):
+        return PairGraph(TRUTH)
+
+    def test_endpoint_precision(self, pg):
+        assert endpoint_precision([0, 2, 99], pg) == pytest.approx(2 / 3)
+
+    def test_endpoint_precision_empty(self, pg):
+        assert endpoint_precision([], pg) == 0.0
+
+    def test_cover_precision(self):
+        assert cover_precision([0, 1, 9], [0, 2, 4]) == pytest.approx(1 / 3)
+
+    def test_cover_precision_empty(self):
+        assert cover_precision([], [0]) == 0.0
+
+
+class TestCoverageCurve:
+    def test_monotone_nondecreasing(self):
+        ranked = [0, 2, 4, 99]
+        curve = coverage_curve(ranked, TRUTH, budgets=[1, 2, 3, 4])
+        values = [c for _, c in curve]
+        assert values == sorted(values)
+        assert curve[-1] == (4, 1.0)
+
+    def test_prefix_semantics(self):
+        curve = coverage_curve([0, 99, 2], TRUTH, budgets=[1, 2])
+        assert curve == [(1, pytest.approx(1 / 3)), (2, pytest.approx(1 / 3))]

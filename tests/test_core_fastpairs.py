@@ -1,0 +1,113 @@
+"""Equivalence tests: the CSR ground-truth engine vs the dict engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fastpairs import csr_delta_histogram, csr_pairs_at_threshold
+from repro.core.pairs import (
+    converging_pairs_at_threshold,
+    delta_histogram,
+    top_k_converging_pairs,
+)
+from repro.graph.graph import Graph
+
+from conftest import random_snapshot_pair
+
+
+class TestEngineDispatch:
+    def test_auto_picks_csr_for_unweighted(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        # Same result either way; smoke the dispatch paths explicitly.
+        auto = delta_histogram(g1, g2, engine="auto")
+        csr = delta_histogram(g1, g2, engine="csr")
+        dict_ = delta_histogram(g1, g2, engine="dict")
+        assert auto == csr == dict_
+
+    def test_auto_falls_back_for_weighted(self):
+        g1 = Graph([(0, 1, 2.0), (1, 2, 2.0)])
+        g2 = g1.copy()
+        g2.add_edge(0, 2, 0.5)
+        hist = delta_histogram(g1, g2, engine="auto")
+        assert any(d == pytest.approx(3.5) for d in hist)
+
+    def test_unknown_engine_rejected(self, shortcut_pair):
+        with pytest.raises(ValueError, match="engine"):
+            delta_histogram(*shortcut_pair, engine="gpu")
+
+    def test_csr_engine_detects_invalid_pairs(self):
+        g1 = Graph([(0, 1), (1, 2)])
+        g2 = Graph([(0, 1), (0, 2)])
+        g2.add_node(2)
+        # Not a subgraph pair: edge (1,2) missing at t2 makes Δ negative.
+        g2.add_edge(1, 3)
+        g2.add_edge(3, 4)
+        g2.add_edge(4, 2)
+        with pytest.raises(ValueError, match="subgraph"):
+            csr_delta_histogram(g1, g2)
+
+
+class TestExampleEquivalence:
+    @pytest.mark.parametrize("seed", [121, 122, 123, 124])
+    def test_histograms_identical(self, seed):
+        g1, g2 = random_snapshot_pair(num_nodes=40, num_edges=110, seed=seed)
+        assert delta_histogram(g1, g2, engine="dict") == csr_delta_histogram(
+            g1, g2
+        )
+
+    @pytest.mark.parametrize("seed", [125, 126])
+    @pytest.mark.parametrize("delta_min", [1, 2])
+    def test_threshold_pairs_identical(self, seed, delta_min):
+        g1, g2 = random_snapshot_pair(num_nodes=40, num_edges=110, seed=seed)
+        slow = converging_pairs_at_threshold(
+            g1, g2, delta_min, engine="dict"
+        )
+        fast = converging_pairs_at_threshold(g1, g2, delta_min, engine="csr")
+        assert [(p.u, p.v, p.d1, p.d2) for p in slow] == [
+            (p.u, p.v, p.d1, p.d2) for p in fast
+        ]
+
+    def test_top_k_unchanged_by_engine(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        top = top_k_converging_pairs(g1, g2, k=3)
+        assert top[0].pair == (0, 5)
+
+    def test_raw_rows_have_index_order(self, shortcut_pair):
+        g1, g2 = shortcut_pair
+        rows = csr_pairs_at_threshold(g1, g2, 1)
+        index = {u: i for i, u in enumerate(g1.nodes())}
+        for u, v, _, _ in rows:
+            assert index[u] < index[v]
+
+
+NODE = st.integers(min_value=0, max_value=12)
+
+
+@st.composite
+def snapshot_pair_strategy(draw):
+    raw = draw(st.lists(st.tuples(NODE, NODE), min_size=1, max_size=35))
+    edges = sorted({(min(u, v), max(u, v)) for u, v in raw if u != v})
+    if not edges:
+        edges = [(0, 1)]
+    cut = draw(st.integers(min_value=1, max_value=len(edges)))
+    return Graph(edges[:cut]), Graph(edges)
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(snapshot_pair_strategy())
+    def test_histogram_engines_agree(self, pair):
+        g1, g2 = pair
+        assert delta_histogram(g1, g2, engine="dict") == delta_histogram(
+            g1, g2, engine="csr"
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshot_pair_strategy(), st.integers(min_value=1, max_value=4))
+    def test_threshold_engines_agree(self, pair, delta_min):
+        g1, g2 = pair
+        slow = converging_pairs_at_threshold(g1, g2, delta_min, engine="dict")
+        fast = converging_pairs_at_threshold(g1, g2, delta_min, engine="csr")
+        assert [(p.pair, p.d1, p.d2) for p in slow] == [
+            (p.pair, p.d1, p.d2) for p in fast
+        ]

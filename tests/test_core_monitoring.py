@@ -1,0 +1,139 @@
+"""Unit tests for the continuous-monitoring extension."""
+
+import pytest
+
+from repro.core.monitoring import ConvergenceMonitor
+from repro.selection import get_selector
+
+from conftest import random_temporal_graph
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return random_temporal_graph(60, 240, seed=91)
+
+
+def make_monitor(stream, **kwargs):
+    defaults = dict(k=10, m=8, seed=0)
+    defaults.update(kwargs)
+    return ConvergenceMonitor(
+        stream, selector_factory=lambda: get_selector("SumDiff",
+                                                      num_landmarks=3),
+        **defaults,
+    )
+
+
+class TestRun:
+    def test_window_count(self, stream):
+        monitor = make_monitor(stream)
+        reports = monitor.run([0.4, 0.6, 0.8, 1.0])
+        assert len(reports) == 3
+        assert [r.start_fraction for r in reports] == [0.4, 0.6, 0.8]
+        assert [r.end_fraction for r in reports] == [0.6, 0.8, 1.0]
+
+    def test_budget_isolated_per_window(self, stream):
+        monitor = make_monitor(stream, m=8)
+        reports = monitor.run([0.5, 0.75, 1.0])
+        for r in reports:
+            assert r.sp_spent <= 16
+            assert r.result.budget.limit == 16
+        assert monitor.total_sp_spent() == sum(r.sp_spent for r in reports)
+
+    def test_pairs_have_positive_delta(self, stream):
+        monitor = make_monitor(stream)
+        for report in monitor.run([0.4, 0.7, 1.0]):
+            for pair in report.pairs:
+                assert pair.delta > 0
+
+    def test_reports_accumulate_across_runs(self, stream):
+        monitor = make_monitor(stream)
+        monitor.run([0.4, 0.6])
+        monitor.run([0.6, 0.8])
+        assert len(monitor.reports) == 2
+
+    def test_deterministic(self, stream):
+        a = make_monitor(stream).run([0.5, 0.75, 1.0])
+        b = make_monitor(stream).run([0.5, 0.75, 1.0])
+        for ra, rb in zip(a, b):
+            assert [p.pair for p in ra.pairs] == [p.pair for p in rb.pairs]
+
+
+class TestValidation:
+    def test_bad_k_m(self, stream):
+        with pytest.raises(ValueError):
+            make_monitor(stream, k=0)
+        with pytest.raises(ValueError):
+            make_monitor(stream, m=0)
+
+    def test_too_few_checkpoints(self, stream):
+        with pytest.raises(ValueError, match="two checkpoints"):
+            make_monitor(stream).run([0.5])
+
+    def test_non_increasing_checkpoints(self, stream):
+        with pytest.raises(ValueError, match="increase"):
+            make_monitor(stream).run([0.5, 0.5, 1.0])
+
+
+class TestSummaries:
+    def test_recurrent_nodes_counts_windows_not_pairs(self, stream):
+        monitor = make_monitor(stream)
+        monitor.run([0.4, 0.6, 0.8, 1.0])
+        # min_windows=1 returns every node ever seen in a pair.
+        everyone = set(monitor.recurrent_nodes(min_windows=1))
+        seen = set()
+        for report in monitor.reports:
+            for p in report.pairs:
+                seen.update(p.pair)
+        assert everyone == seen
+        # Stricter thresholds can only shrink the set.
+        assert set(monitor.recurrent_nodes(min_windows=2)) <= everyone
+
+    def test_recurrent_nodes_validation(self, stream):
+        with pytest.raises(ValueError):
+            make_monitor(stream).recurrent_nodes(min_windows=0)
+
+    def test_pair_timeline_rows(self, stream):
+        monitor = make_monitor(stream)
+        monitor.run([0.5, 0.75, 1.0])
+        rows = monitor.pair_timeline()
+        assert len(rows) == sum(len(r.pairs) for r in monitor.reports)
+        for start, end, pair, delta in rows:
+            assert start < end
+            assert delta > 0
+            assert len(pair) == 2
+
+
+# ----------------------------------------------------------------------
+# Property-based: checkpoint semantics
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.2, max_value=1.0),
+        min_size=2,
+        max_size=5,
+        unique=True,
+    )
+)
+def test_monitor_windows_tile_the_checkpoints(checkpoints):
+    checkpoints = sorted(checkpoints)
+    stream = random_temporal_graph(40, 160, seed=7)
+    monitor = ConvergenceMonitor(
+        stream,
+        selector_factory=lambda: get_selector("DegDiff"),
+        k=5,
+        m=5,
+        seed=0,
+    )
+    reports = monitor.run(checkpoints)
+    assert len(reports) == len(checkpoints) - 1
+    for report, (a, b) in zip(reports, zip(checkpoints, checkpoints[1:])):
+        assert report.start_fraction == a
+        assert report.end_fraction == b
+        assert report.sp_spent <= 10
+        for pair in report.pairs:
+            assert pair.delta > 0

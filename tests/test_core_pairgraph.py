@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.pairgraph.PairGraph."""
+
+import pytest
+
+from repro.core.pairgraph import PairGraph
+from repro.core.pairs import ConvergingPair
+
+
+@pytest.fixture
+def pg() -> PairGraph:
+    """Pairs forming a star on 0 plus one extra edge (3, 4)."""
+    return PairGraph([(0, 1), (0, 2), (0, 3), (3, 4)])
+
+
+class TestConstruction:
+    def test_counts(self, pg):
+        assert pg.num_pairs == 4
+        assert pg.num_endpoints == 5
+
+    def test_from_converging_pairs(self):
+        pairs = [ConvergingPair(1, 2, 5, 1), ConvergingPair(2, 3, 4, 1)]
+        pg = PairGraph(pairs)
+        assert pg.num_pairs == 2
+        assert pg.endpoints() == {1, 2, 3}
+
+    def test_duplicates_collapse(self):
+        pg = PairGraph([(1, 2), (2, 1), (1, 2)])
+        assert pg.num_pairs == 1
+
+    def test_empty(self):
+        pg = PairGraph([])
+        assert pg.num_pairs == 0
+        assert pg.coverage_of([1, 2]) == 1.0
+        assert pg.is_vertex_cover([])
+
+
+class TestQueries:
+    def test_contains(self, pg):
+        assert (0, 1) in pg
+        assert (1, 0) in pg
+        assert (1, 2) not in pg
+
+    def test_len(self, pg):
+        assert len(pg) == 4
+
+    def test_partners(self, pg):
+        assert pg.partners(0) == {1, 2, 3}
+        assert pg.partners(3) == {0, 4}
+        assert pg.partners(99) == set()
+
+    def test_pair_degree(self, pg):
+        assert pg.pair_degree(0) == 3
+        assert pg.pair_degree(4) == 1
+        assert pg.pair_degree(99) == 0
+
+    def test_pairs_covered_by(self, pg):
+        assert pg.pairs_covered_by([0]) == {(0, 1), (0, 2), (0, 3)}
+        assert pg.pairs_covered_by([4]) == {(3, 4)}
+        assert pg.pairs_covered_by([1, 4]) == {(0, 1), (3, 4)}
+
+    def test_coverage_of(self, pg):
+        assert pg.coverage_of([0]) == pytest.approx(0.75)
+        assert pg.coverage_of([0, 4]) == 1.0
+        assert pg.coverage_of([]) == 0.0
+
+    def test_is_vertex_cover(self, pg):
+        assert pg.is_vertex_cover([0, 3])
+        assert pg.is_vertex_cover([0, 4])
+        assert not pg.is_vertex_cover([0])
+        assert not pg.is_vertex_cover([1, 2, 4])
+
+    def test_degree_ranked_endpoints(self, pg):
+        ranked = pg.degree_ranked_endpoints()
+        assert ranked[0] == 0
+        assert ranked[1] == 3
+
+    def test_copies_are_returned(self, pg):
+        pg.pairs().clear()
+        pg.endpoints().clear()
+        assert pg.num_pairs == 4
+        assert pg.num_endpoints == 5

@@ -1,0 +1,94 @@
+"""Unit tests for the dataset catalog and splits."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    EVAL_SPLIT,
+    TRAIN_SPLIT,
+    characteristics,
+    dataset_names,
+    eval_snapshots,
+    load,
+    train_snapshots,
+)
+from repro.graph.validation import check_snapshot_pair
+
+
+class TestCatalog:
+    def test_catalog_names(self):
+        names = dataset_names()
+        assert names == [
+            "actors", "internet", "internet-weighted", "facebook", "dblp",
+        ]
+
+    def test_weighted_variant_is_weighted(self):
+        g1, g2 = eval_snapshots(load("internet-weighted", scale=0.1))
+        assert g1.is_weighted() and g2.is_weighted()
+        check_snapshot_pair(g1, g2)
+
+    def test_specs_have_paper_counterparts(self):
+        for spec in DATASETS.values():
+            assert spec.paper_dataset
+            assert spec.description
+
+    def test_load_default_seed_is_stable(self):
+        a = load("internet", scale=0.1)
+        b = load("internet", scale=0.1)
+        assert a.events() == b.events()
+
+    def test_load_custom_seed_differs(self):
+        a = load("internet", scale=0.1, seed=1)
+        b = load("internet", scale=0.1, seed=2)
+        assert a.events() != b.events()
+
+    def test_load_case_insensitive(self):
+        assert load("FACEBOOK", scale=0.1).num_events == load(
+            "facebook", scale=0.1
+        ).num_events
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="known datasets"):
+            load("twitter")
+
+    def test_scale_controls_size(self):
+        small = load("dblp", scale=0.1).snapshot()
+        large = load("dblp", scale=0.3).snapshot()
+        assert large.num_nodes > small.num_nodes
+
+    @pytest.mark.parametrize("name", ["actors", "internet", "facebook", "dblp"])
+    def test_eval_split_valid(self, name):
+        tg = load(name, scale=0.1)
+        g1, g2 = eval_snapshots(tg)
+        check_snapshot_pair(g1, g2)
+        assert g1.num_edges < g2.num_edges
+
+
+class TestSplits:
+    def test_constants(self):
+        assert EVAL_SPLIT == (0.8, 1.0)
+        assert TRAIN_SPLIT == (0.2, 0.4)
+
+    def test_train_and_eval_are_disjoint_in_time(self):
+        tg = load("facebook", scale=0.1)
+        _, g2_train = train_snapshots(tg)
+        g1_eval, _ = eval_snapshots(tg)
+        # The training pair ends (40%) before the evaluation pair starts
+        # (80%), so every training edge is in the eval G_t1.
+        for u, v in g2_train.edges():
+            assert g1_eval.has_edge(u, v)
+
+
+class TestCharacteristics:
+    def test_fields(self):
+        tg = load("facebook", scale=0.1)
+        chars = characteristics(tg)
+        assert set(chars) == {
+            "nodes_t1", "nodes_t2", "edges_t1", "edges_t2",
+            "diameter_t1", "diameter_t2", "max_delta",
+            "disconnected_pairs_t1",
+        }
+        assert chars["nodes_t1"] <= chars["nodes_t2"]
+        assert chars["edges_t1"] < chars["edges_t2"]
+        assert chars["max_delta"] > 0
+        assert chars["diameter_t2"] <= chars["diameter_t1"] + chars["max_delta"]

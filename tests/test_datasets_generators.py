@@ -1,0 +1,211 @@
+"""Unit tests for the synthetic temporal generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    collaboration_stream,
+    community_bridge_stream,
+    hub_spoke_stream,
+    preferential_attachment_stream,
+)
+from repro.graph.components import largest_component
+from repro.graph.validation import check_snapshot_pair
+
+
+ALL_GENERATORS = [
+    lambda seed: preferential_attachment_stream(120, 2, seed=seed),
+    lambda seed: collaboration_stream(150, seed=seed),
+    lambda seed: community_bridge_stream(150, num_communities=5, seed=seed),
+    lambda seed: hub_spoke_stream(150, seed=seed),
+]
+
+
+@pytest.mark.parametrize("builder", ALL_GENERATORS)
+class TestCommonProperties:
+    def test_deterministic_given_seed(self, builder):
+        a = builder(7)
+        b = builder(7)
+        assert a.events() == b.events()
+
+    def test_different_seeds_differ(self, builder):
+        a = builder(1)
+        b = builder(2)
+        assert a.events() != b.events()
+
+    def test_simple_graph(self, builder):
+        g = builder(3).snapshot()
+        seen = set()
+        for u, v in g.edges():
+            assert u != v
+            key = (min(u, v, key=repr), max(u, v, key=repr))
+            assert key not in seen
+            seen.add(key)
+
+    def test_snapshot_pair_is_insertion_only(self, builder):
+        tg = builder(4)
+        g1, g2 = tg.snapshot_pair(0.8, 1.0)
+        check_snapshot_pair(g1, g2)
+
+    def test_times_are_event_indices(self, builder):
+        events = builder(5).events()
+        assert [ev.time for ev in events] == list(range(len(events)))
+
+
+class TestPreferentialAttachment:
+    def test_node_count(self):
+        tg = preferential_attachment_stream(100, 2, seed=0)
+        assert tg.snapshot().num_nodes == 100
+
+    def test_edges_per_node(self):
+        tg = preferential_attachment_stream(100, 3, seed=0)
+        g = tg.snapshot()
+        # seed clique C(4,2)=6 plus 3 per additional node.
+        assert g.num_edges == 6 + 3 * 96
+
+    def test_connected(self):
+        g = preferential_attachment_stream(100, 2, seed=1).snapshot()
+        assert len(largest_component(g)) == 100
+
+    def test_degree_skew(self):
+        g = preferential_attachment_stream(400, 2, seed=2).snapshot()
+        degrees = sorted(g.degrees().values(), reverse=True)
+        assert degrees[0] > 5 * (sum(degrees) / len(degrees))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_stream(2, 2)
+        with pytest.raises(ValueError):
+            preferential_attachment_stream(10, 0)
+
+
+class TestCollaboration:
+    def test_dense_teams_make_dense_graph(self):
+        dense = collaboration_stream(
+            200, team_size_range=(5, 8), newcomer_rate=0.2, seed=0
+        ).snapshot()
+        sparse = collaboration_stream(
+            200, team_size_range=(2, 3), newcomer_rate=0.5, seed=0
+        ).snapshot()
+        assert dense.density() > sparse.density()
+
+    def test_teams_form_cliques(self):
+        tg = collaboration_stream(1, team_size_range=(4, 4),
+                                  newcomer_rate=1.0, seed=0)
+        g = tg.snapshot()
+        assert g.num_nodes <= 4
+        n = g.num_nodes
+        assert g.num_edges == n * (n - 1) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collaboration_stream(10, team_size_range=(1, 3))
+        with pytest.raises(ValueError):
+            collaboration_stream(10, newcomer_rate=1.5)
+        with pytest.raises(ValueError):
+            collaboration_stream(10, recurrence_bias=-0.1)
+
+
+class TestCommunityBridge:
+    def test_bridges_in_tail(self):
+        tg = community_bridge_stream(
+            200, num_communities=6, bridge_fraction=0.15,
+            late_bridge_share=1.0, seed=0,
+        )
+        g1, g2 = tg.snapshot_pair(0.8, 1.0)
+        # With all bridges held to the tail, the early snapshot's edges
+        # should be (almost) all intra-community; the late ones add the
+        # shortcuts, so distances must collapse for some pairs.
+        from repro.core.pairs import max_delta
+
+        assert max_delta(g1, g2, validate=False) >= 3
+
+    def test_each_community_connected_early(self):
+        tg = community_bridge_stream(120, num_communities=4, seed=1)
+        g = tg.snapshot()
+        assert len(largest_component(g)) > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            community_bridge_stream(5, num_communities=4)
+        with pytest.raises(ValueError):
+            community_bridge_stream(100, bridge_fraction=1.0)
+        with pytest.raises(ValueError):
+            community_bridge_stream(100, late_bridge_share=2.0)
+
+
+class TestHubSpoke:
+    def test_core_is_densest(self):
+        tg = hub_spoke_stream(200, core_size=10, seed=0)
+        g = tg.snapshot()
+        core_degrees = [g.degree(u) for u in range(10)]
+        other_degrees = [g.degree(u) for u in range(10, 200) if u in g]
+        assert min(core_degrees) > np.mean(other_degrees)
+
+    def test_late_peering_creates_convergence(self):
+        tg = hub_spoke_stream(250, late_peering_share=1.0, seed=2)
+        g1, g2 = tg.snapshot_pair(0.8, 1.0)
+        from repro.core.pairs import max_delta
+
+        assert max_delta(g1, g2, validate=False) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hub_spoke_stream(5, core_size=10)
+        with pytest.raises(ValueError):
+            hub_spoke_stream(100, provider_fraction=0.0)
+
+
+class TestForestFire:
+    def test_connected(self):
+        from repro.datasets.generators import forest_fire_stream
+        from repro.graph.components import is_connected
+
+        g = forest_fire_stream(200, seed=0).snapshot()
+        assert g.num_nodes == 200
+        assert is_connected(g)
+
+    def test_densification_with_forward_prob(self):
+        from repro.datasets.generators import forest_fire_stream
+
+        cold = forest_fire_stream(200, forward_prob=0.05, seed=1).snapshot()
+        hot = forest_fire_stream(200, forward_prob=0.5, seed=1).snapshot()
+        assert hot.num_edges > cold.num_edges
+
+    def test_deterministic(self):
+        from repro.datasets.generators import forest_fire_stream
+
+        a = forest_fire_stream(100, seed=9)
+        b = forest_fire_stream(100, seed=9)
+        assert a.events() == b.events()
+
+    def test_snapshot_pair_valid(self):
+        from repro.datasets.generators import forest_fire_stream
+        from repro.graph.validation import check_snapshot_pair
+
+        tg = forest_fire_stream(150, seed=2)
+        check_snapshot_pair(*tg.snapshot_pair(0.8, 1.0))
+
+    def test_validation(self):
+        from repro.datasets.generators import forest_fire_stream
+
+        with pytest.raises(ValueError):
+            forest_fire_stream(1)
+        with pytest.raises(ValueError):
+            forest_fire_stream(10, forward_prob=1.0)
+        with pytest.raises(ValueError):
+            forest_fire_stream(10, ambassador_links=0)
+
+    def test_clustering_exceeds_pa_baseline(self):
+        from repro.datasets.generators import (
+            forest_fire_stream,
+            preferential_attachment_stream,
+        )
+        from repro.graph.stats import average_clustering
+
+        ff = forest_fire_stream(300, forward_prob=0.4, seed=3).snapshot()
+        pa = preferential_attachment_stream(
+            300, max(1, ff.num_edges // 300), seed=3
+        ).snapshot()
+        # Burning neighborhoods closes triangles; PA barely does.
+        assert average_clustering(ff) > average_clustering(pa)

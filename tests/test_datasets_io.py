@@ -1,0 +1,116 @@
+"""Unit tests for edge-stream IO."""
+
+import pytest
+
+from repro.datasets.io import read_edge_list, read_edge_stream, write_edge_stream
+from repro.graph.dynamic import TemporalGraph
+
+from conftest import random_temporal_graph
+
+
+class TestRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        tg = random_temporal_graph(30, 60, seed=81)
+        path = tmp_path / "stream.tsv"
+        write_edge_stream(tg, path)
+        back = read_edge_stream(path)
+        assert back.num_events == tg.num_events
+        assert back.snapshot() == tg.snapshot()
+
+    def test_weights_preserved(self, tmp_path):
+        tg = TemporalGraph([(0, "a", "b", 2.5), (1, "b", "c", 0.5)])
+        path = tmp_path / "weighted.tsv"
+        write_edge_stream(tg, path)
+        back = read_edge_stream(path)
+        assert back.snapshot().weight("a", "b") == 2.5
+
+    def test_header_comment_written(self, tmp_path):
+        tg = TemporalGraph([(0, 1, 2)])
+        path = tmp_path / "s.tsv"
+        write_edge_stream(tg, path)
+        assert path.read_text().startswith("#")
+
+
+class TestReadEdgeStream:
+    def test_integer_ids_parsed_as_int(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\n")
+        g = read_edge_stream(path).snapshot()
+        assert 1 in g and "1" not in g
+
+    def test_string_ids_preserved(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\talice\tbob\n")
+        g = read_edge_stream(path).snapshot()
+        assert g.has_edge("alice", "bob")
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("# header\n\n0\t1\t2\n")
+        assert read_edge_stream(path).num_events == 1
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\n")
+        with pytest.raises(ValueError, match=":1:"):
+            read_edge_stream(path)
+
+
+class TestReadEdgeList:
+    def test_line_order_is_time(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("5 6\n1 2\n3 4\n")
+        events = read_edge_list(path).events()
+        assert [ev.endpoints() for ev in events] == [(5, 6), (1, 2), (3, 4)]
+        assert [ev.time for ev in events] == [0, 1, 2]
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 1\n1 2\n")
+        assert read_edge_list(path).num_events == 1
+
+    def test_whitespace_separated(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\t2\n3   4\n")
+        assert read_edge_list(path).num_events == 2
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("justone\n")
+        with pytest.raises(ValueError, match="two fields"):
+            read_edge_list(path)
+
+
+# ----------------------------------------------------------------------
+# Property-based: any stream survives a write/read cycle.
+# ----------------------------------------------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_roundtrip_preserves_snapshot_property(pairs):
+    import tempfile
+    from pathlib import Path
+
+    events = [(t, u, v) for t, (u, v) in enumerate(pairs) if u != v]
+    if not events:
+        events = [(0, 0, 1)]
+    tg = TemporalGraph(events)
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "stream.tsv"
+        write_edge_stream(tg, path)
+        back = read_edge_stream(path)
+    assert back.num_events == tg.num_events
+    assert back.snapshot() == tg.snapshot()
+    assert [ev.time for ev in back.events()] == [ev.time for ev in tg.events()]

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library — a refactor that silently
+breaks them is a release blocker, so they run (as subprocesses, like a
+user would) in the suite.  Output content is only spot-checked; the
+examples' numbers are illustrative, not contracts.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_examples_directory_is_complete():
+    assert set(ALL_EXAMPLES) >= {
+        "quickstart.py",
+        "friend_recommendation.py",
+        "infrastructure_monitoring.py",
+        "collaboration_watch.py",
+        "stream_monitoring.py",
+        "weighted_routing.py",
+    }
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name):
+    out = run_example(name)
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_coverage():
+    out = run_example("quickstart.py")
+    assert "coverage of the true top-" in out
+    assert "budget split by phase" in out
+
+
+def test_infrastructure_monitoring_demonstrates_enforcement():
+    out = run_example("infrastructure_monitoring.py")
+    assert "budget enforcement" in out
+
+
+def test_stream_monitoring_reports_windows():
+    out = run_example("stream_monitoring.py")
+    assert "window" in out
+    assert "total budget spent" in out

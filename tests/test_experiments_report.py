@@ -1,0 +1,99 @@
+"""Unit tests for the experiment report renderer."""
+
+import math
+
+from repro.experiments.report import curve_block, format_table, percent
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            headers=("name", "value"),
+            rows=[("alpha", 1), ("b", 23)],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_numeric_right_alignment(self):
+        text = format_table(("n",), [(1,), (1000,)])
+        lines = text.splitlines()
+        assert lines[2].endswith("1")
+        assert lines[3].endswith("1000")
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.12345,), (2.0,)])
+        assert "0.123" in text
+        # Integral floats render as ints (right-aligned).
+        assert text.splitlines()[-1].strip() == "2"
+
+    def test_nan_renders_as_dash(self):
+        text = format_table(("x",), [(math.nan,)])
+        assert "-" in text.splitlines()[-1]
+
+    def test_no_title(self):
+        text = format_table(("a",), [(1,)])
+        assert text.splitlines()[0].strip() == "a"
+
+    def test_column_width_adapts_to_data(self):
+        text = format_table(("x",), [("longvalue",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("longvalue")
+
+
+class TestPercent:
+    def test_formatting(self):
+        assert percent(0.5) == "50.0"
+        assert percent(1.0) == "100.0"
+        assert percent(0.123) == "12.3"
+        assert percent(0.0) == "0.0"
+
+
+class TestCurveBlock:
+    def test_contents(self):
+        text = curve_block("MMSD", [(10, 0.5), (20, 0.75)])
+        assert "MMSD" in text
+        assert "m=10: 50.0%" in text
+        assert "m=20: 75.0%" in text
+
+
+class TestJsonExport:
+    def test_dataclass_rows_roundtrip(self, tmp_path):
+        import json
+
+        from repro.experiments import smoke_config, table2, write_json
+        from repro.experiments.export import result_to_dict
+
+        rows = table2.run(smoke_config())
+        data = result_to_dict(rows)
+        assert isinstance(data, list)
+        assert data[0]["dataset"] == "actors"
+        out = tmp_path / "table2.json"
+        write_json(rows, out)
+        assert json.loads(out.read_text())[0]["nodes_t1"] > 0
+
+    def test_tuple_keys_flattened(self):
+        from repro.experiments.export import result_to_dict
+
+        data = result_to_dict({("SumDiff", "dblp", 1): 0.5})
+        assert data == {"SumDiff/dblp/1": 0.5}
+
+    def test_numpy_scalars_and_fallback(self):
+        import numpy as np
+
+        from repro.experiments.export import result_to_dict
+
+        assert result_to_dict(np.float64(0.5)) == 0.5
+        assert isinstance(result_to_dict(object()), str)
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "t2.json"
+        rc = main(["experiment", "table2", "--scale", "0.15",
+                   "--json", str(out)])
+        assert rc == 0
+        assert out.exists()

@@ -1,0 +1,104 @@
+"""Unit tests for the experiment runner's dispatch and caching."""
+
+import pytest
+
+from repro.experiments import smoke_config
+from repro.experiments.runner import (
+    build_selector,
+    candidate_sets,
+    coverage_cell,
+    get_context,
+)
+from repro.selection import (
+    CoordDiffSelector,
+    GlobalClassifierSelector,
+    IncBetSelector,
+    LocalClassifierSelector,
+    MMSDSelector,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return smoke_config()
+
+
+@pytest.fixture(scope="module")
+def ctx(config):
+    return get_context("facebook", config.scale)
+
+
+class TestBuildSelector:
+    def test_landmark_family_gets_config_l(self, config, ctx):
+        selector = build_selector("MMSD", config, ctx)
+        assert isinstance(selector, MMSDSelector)
+        assert selector.num_landmarks == config.num_landmarks
+
+    def test_coorddiff_gets_config_l(self, config, ctx):
+        selector = build_selector("CoordDiff", config, ctx)
+        assert isinstance(selector, CoordDiffSelector)
+        assert selector.num_landmarks == config.num_landmarks
+
+    def test_incbet_gets_precomputed_scores_with_context(self, config, ctx):
+        selector = build_selector("IncBet", config, ctx)
+        assert isinstance(selector, IncBetSelector)
+        assert selector.precomputed_scores is not None
+
+    def test_incbet_without_context(self, config):
+        selector = build_selector("IncBet", config, None)
+        assert selector.precomputed_scores is None
+
+    def test_local_classifier_requires_context(self, config):
+        with pytest.raises(ValueError, match="context"):
+            build_selector("L-Classifier", config, None)
+
+    def test_local_classifier_trained_on_demand(self, config, ctx):
+        selector = build_selector("L-Classifier", config, ctx)
+        assert isinstance(selector, LocalClassifierSelector)
+        # Training is cached: second build reuses the same model object.
+        again = build_selector("L-Classifier", config, ctx)
+        assert again.model is selector.model
+
+    def test_global_classifier_trained_on_demand(self, config, ctx):
+        selector = build_selector("G-Classifier", config, ctx)
+        assert isinstance(selector, GlobalClassifierSelector)
+
+
+class TestCandidateCache:
+    def test_same_key_returns_same_object(self, config, ctx):
+        a = candidate_sets(ctx, "SumDiff", 10, config)
+        b = candidate_sets(ctx, "SumDiff", 10, config)
+        assert a is b
+
+    def test_repeats_respected(self, config, ctx):
+        runs = candidate_sets(ctx, "SumDiff", 10, config)
+        assert len(runs) == config.repeats
+        deterministic = candidate_sets(ctx, "Degree", 10, config)
+        assert len(deterministic) == 1
+
+    def test_different_budgets_differ(self, config, ctx):
+        a = candidate_sets(ctx, "Degree", 5, config)
+        b = candidate_sets(ctx, "Degree", 10, config)
+        assert len(a[0]) == 5
+        assert len(b[0]) == 10
+        # Degree's ranking is budget-independent, so prefixes must agree.
+        assert b[0][:5] == a[0]
+
+    def test_coverage_cell_consistent_with_cache(self, config, ctx):
+        truth = ctx.truth_at_offset(1)
+        cell = coverage_cell(ctx, "Degree", 10, 1, config)
+        from repro.core.evaluation import candidate_pair_coverage
+
+        manual = candidate_pair_coverage(
+            candidate_sets(ctx, "Degree", 10, config)[0], truth.pairs
+        )
+        assert cell == pytest.approx(manual)
+
+
+class TestIncidentBetCache:
+    def test_scores_cached_per_pivots(self, ctx):
+        a = ctx.incident_bet_scores(8)
+        b = ctx.incident_bet_scores(8)
+        assert a is b
+        c = ctx.incident_bet_scores(16)
+        assert c is not a

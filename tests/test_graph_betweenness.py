@@ -1,0 +1,114 @@
+"""Unit tests for repro.graph.betweenness against the networkx oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.betweenness import (
+    approximate_edge_betweenness,
+    edge_betweenness,
+    node_betweenness,
+)
+from repro.graph.graph import Graph
+
+from conftest import (
+    complete_graph,
+    path_graph,
+    random_snapshot_pair,
+    star_graph,
+    to_networkx,
+)
+
+
+def _canon(d):
+    return {tuple(sorted(k)): v for k, v in d.items()}
+
+
+class TestNodeBetweenness:
+    def test_path_center_dominates(self):
+        bc = node_betweenness(path_graph(5), normalized=False)
+        assert bc[2] > bc[1] > bc[0]
+        assert bc[0] == 0.0
+
+    def test_star_hub(self):
+        bc = node_betweenness(star_graph(5), normalized=False)
+        # Hub lies on all C(5,2) = 10 leaf pairs.
+        assert bc[0] == pytest.approx(10.0)
+        assert bc[1] == 0.0
+
+    def test_complete_graph_all_zero(self):
+        bc = node_betweenness(complete_graph(5), normalized=False)
+        assert all(v == pytest.approx(0.0) for v in bc.values())
+
+    @pytest.mark.parametrize("seed", [31, 32])
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_matches_networkx(self, seed, normalized):
+        g, _ = random_snapshot_pair(num_nodes=25, num_edges=50, seed=seed)
+        ours = node_betweenness(g, normalized=normalized)
+        theirs = nx.betweenness_centrality(
+            to_networkx(g), normalized=normalized, weight=None
+        )
+        for node, value in theirs.items():
+            assert ours[node] == pytest.approx(value, abs=1e-9)
+
+
+class TestEdgeBetweenness:
+    def test_bridge_dominates(self):
+        # Two triangles joined by a bridge (2, 3).
+        g = Graph([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        bc = edge_betweenness(g, normalized=False)
+        assert max(bc, key=bc.get) == (2, 3)
+        assert bc[(2, 3)] == pytest.approx(9.0)  # all 3x3 cross pairs
+
+    def test_path_edges(self):
+        bc = edge_betweenness(path_graph(4), normalized=False)
+        # Middle edge (1,2) carries pairs {0,1}x{2,3} = 4.
+        assert bc[(1, 2)] == pytest.approx(4.0)
+        assert bc[(0, 1)] == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("seed", [33, 34])
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_matches_networkx(self, seed, normalized):
+        g, _ = random_snapshot_pair(num_nodes=25, num_edges=50, seed=seed)
+        ours = edge_betweenness(g, normalized=normalized)
+        theirs = _canon(
+            nx.edge_betweenness_centrality(
+                to_networkx(g), normalized=normalized, weight=None
+            )
+        )
+        assert set(ours) == set(theirs)
+        for edge, value in theirs.items():
+            assert ours[edge] == pytest.approx(value, abs=1e-9)
+
+
+class TestApproximateEdgeBetweenness:
+    def test_all_pivots_equals_exact(self):
+        g = path_graph(6)
+        exact = edge_betweenness(g, normalized=False)
+        approx = approximate_edge_betweenness(
+            g, num_pivots=100, rng=np.random.default_rng(0), normalized=False
+        )
+        assert approx == exact
+
+    def test_estimator_is_close_on_average(self):
+        g, _ = random_snapshot_pair(num_nodes=40, num_edges=100, seed=35)
+        exact = edge_betweenness(g, normalized=False)
+        estimates = [
+            approximate_edge_betweenness(
+                g, num_pivots=20, rng=np.random.default_rng(s), normalized=False
+            )
+            for s in range(30)
+        ]
+        for edge, value in exact.items():
+            mean = float(np.mean([e[edge] for e in estimates]))
+            assert mean == pytest.approx(value, rel=0.35, abs=2.0)
+
+    def test_invalid_pivots(self):
+        with pytest.raises(ValueError):
+            approximate_edge_betweenness(path_graph(3), num_pivots=0)
+
+    def test_deterministic_given_rng(self):
+        g, _ = random_snapshot_pair(seed=36)
+        a = approximate_edge_betweenness(g, 5, rng=np.random.default_rng(1))
+        b = approximate_edge_betweenness(g, 5, rng=np.random.default_rng(1))
+        assert a == b

@@ -1,0 +1,115 @@
+"""Unit tests for repro.graph.components."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.components import (
+    component_membership,
+    connected_components,
+    count_disconnected_pairs,
+    is_connected,
+    largest_component,
+    same_component,
+)
+from repro.graph.graph import Graph
+
+from conftest import path_graph, random_snapshot_pair, to_networkx
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path5):
+        comps = connected_components(path5)
+        assert len(comps) == 1
+        assert comps[0] == {0, 1, 2, 3, 4}
+
+    def test_multiple_components_sorted_by_size(self, two_components):
+        comps = connected_components(two_components)
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph([(0, 1)])
+        g.add_node(5)
+        comps = connected_components(g)
+        assert {5} in comps
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_matches_networkx(self, seed):
+        g, _ = random_snapshot_pair(num_nodes=40, num_edges=45, seed=seed)
+        ours = {frozenset(c) for c in connected_components(g)}
+        theirs = {frozenset(c) for c in nx.connected_components(to_networkx(g))}
+        assert ours == theirs
+
+
+class TestLargestComponent:
+    def test_largest(self, two_components):
+        assert largest_component(two_components) == {0, 1, 2}
+
+    def test_empty(self):
+        assert largest_component(Graph()) == set()
+
+
+class TestMembership:
+    def test_membership_indices(self, two_components):
+        membership = component_membership(two_components)
+        assert membership[0] == membership[1] == membership[2] == 0
+        assert membership[10] == membership[11] == 1
+
+    def test_same_component(self, two_components):
+        membership = component_membership(two_components)
+        assert same_component(membership, 0, 2)
+        assert not same_component(membership, 0, 10)
+
+    def test_same_component_unknown_node(self, two_components):
+        membership = component_membership(two_components)
+        assert not same_component(membership, 0, 999)
+        assert not same_component(membership, 999, 998)
+
+
+class TestIsConnected:
+    def test_connected(self, path5):
+        assert is_connected(path5)
+
+    def test_disconnected(self, two_components):
+        assert not is_connected(two_components)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph())
+
+    def test_singleton_connected(self):
+        g = Graph()
+        g.add_node(1)
+        assert is_connected(g)
+
+
+class TestDisconnectedPairs:
+    def test_connected_graph_has_none(self, path5):
+        assert count_disconnected_pairs(path5) == 0
+
+    def test_two_components(self, two_components):
+        # 3 + 2 nodes: total C(5,2)=10, within 3+1=4, across = 6.
+        assert count_disconnected_pairs(two_components) == 6
+
+    def test_all_isolated(self):
+        g = Graph()
+        for i in range(4):
+            g.add_node(i)
+        assert count_disconnected_pairs(g) == 6
+
+    def test_empty(self):
+        assert count_disconnected_pairs(Graph()) == 0
+
+    @pytest.mark.parametrize("seed", [13])
+    def test_matches_brute_force(self, seed):
+        g, _ = random_snapshot_pair(num_nodes=25, num_edges=20, seed=seed)
+        membership = component_membership(g)
+        nodes = list(g.nodes())
+        brute = sum(
+            1
+            for i, u in enumerate(nodes)
+            for v in nodes[i + 1 :]
+            if membership[u] != membership[v]
+        )
+        assert count_disconnected_pairs(g) == brute

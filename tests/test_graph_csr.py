@@ -1,0 +1,150 @@
+"""Unit tests for the CSR graph view and vectorised BFS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import (
+    CSRGraph,
+    UNREACHED,
+    all_sources_levels,
+    bfs_distances_fast,
+    bfs_levels,
+    _multi_arange,
+)
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+
+from conftest import (
+    grid_graph,
+    path_graph,
+    random_snapshot_pair,
+    star_graph,
+)
+
+
+class TestMultiArange:
+    def test_basic(self):
+        out = _multi_arange(np.array([0, 5]), np.array([3, 2]))
+        assert list(out) == [0, 1, 2, 5, 6]
+
+    def test_single_range(self):
+        assert list(_multi_arange(np.array([4]), np.array([3]))) == [4, 5, 6]
+
+    def test_empty(self):
+        assert _multi_arange(np.empty(0, int), np.empty(0, int)).size == 0
+
+    def test_adjacent_ranges(self):
+        out = _multi_arange(np.array([0, 3, 3]), np.array([3, 1, 2]))
+        assert list(out) == [0, 1, 2, 3, 3, 4]
+
+
+class TestCSRGraph:
+    def test_from_graph_structure(self, path5):
+        csr = CSRGraph.from_graph(path5)
+        assert csr.num_nodes == 5
+        assert csr.num_edges == 4
+        assert list(csr.neighbors_of(csr.index[2])) == sorted(
+            csr.index[v] for v in path5.neighbors(2)
+        )
+
+    def test_restricted_universe_drops_outside_neighbors(self):
+        g = star_graph(4)
+        csr = CSRGraph.from_graph(g, nodes=[0, 1, 2])
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 2  # edges to 3 and 4 dropped
+
+    def test_duplicate_universe_rejected(self, path5):
+        with pytest.raises(ValueError, match="duplicate"):
+            CSRGraph.from_graph(path5, nodes=[0, 0, 1])
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(Graph())
+        assert csr.num_nodes == 0
+        assert csr.num_edges == 0
+
+
+class TestBFSLevels:
+    def test_path(self):
+        g = path_graph(6)
+        csr = CSRGraph.from_graph(g)
+        levels = bfs_levels(csr, csr.index[0])
+        assert [levels[csr.index[i]] for i in range(6)] == [0, 1, 2, 3, 4, 5]
+
+    def test_unreached_marker(self, two_components):
+        csr = CSRGraph.from_graph(two_components)
+        levels = bfs_levels(csr, csr.index[0])
+        assert levels[csr.index[10]] == UNREACHED
+
+    def test_out_of_range_source(self, path5):
+        csr = CSRGraph.from_graph(path5)
+        with pytest.raises(IndexError):
+            bfs_levels(csr, 99)
+
+    def test_isolated_source(self):
+        g = Graph([(0, 1)])
+        g.add_node(7)
+        csr = CSRGraph.from_graph(g)
+        levels = bfs_levels(csr, csr.index[7])
+        assert levels[csr.index[7]] == 0
+        assert levels[csr.index[0]] == UNREACHED
+
+    @pytest.mark.parametrize("seed", [111, 112, 113])
+    def test_matches_dict_bfs(self, seed):
+        g, _ = random_snapshot_pair(num_nodes=50, num_edges=120, seed=seed)
+        csr = CSRGraph.from_graph(g)
+        for u in list(g.nodes())[:10]:
+            ref = bfs_distances(g, u)
+            levels = bfs_levels(csr, csr.index[u])
+            got = {
+                csr.nodes[i]: int(levels[i])
+                for i in np.flatnonzero(levels != UNREACHED)
+            }
+            assert got == dict(ref)
+
+    def test_grid(self):
+        g = grid_graph(5, 7)
+        csr = CSRGraph.from_graph(g)
+        levels = bfs_levels(csr, csr.index[0])
+        # Manhattan distance on a grid.
+        assert levels[csr.index[4 * 7 + 6]] == 4 + 6
+
+
+class TestFastWrappers:
+    def test_bfs_distances_fast(self, path5):
+        assert bfs_distances_fast(path5, 0) == dict(bfs_distances(path5, 0))
+
+    def test_all_sources_levels_shape_and_symmetry(self):
+        g = grid_graph(3, 3)
+        csr = CSRGraph.from_graph(g)
+        matrix = all_sources_levels(csr)
+        assert matrix.shape == (9, 9)
+        assert (matrix == matrix.T).all()
+        assert (np.diag(matrix) == 0).all()
+
+
+NODE = st.integers(min_value=0, max_value=12)
+
+
+@st.composite
+def small_edges(draw):
+    raw = draw(st.lists(st.tuples(NODE, NODE), min_size=1, max_size=30))
+    edges = {(min(u, v), max(u, v)) for u, v in raw if u != v}
+    return sorted(edges) or [(0, 1)]
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(small_edges())
+    def test_csr_bfs_equals_dict_bfs(self, edges):
+        g = Graph(edges)
+        csr = CSRGraph.from_graph(g)
+        source = next(iter(g.nodes()))
+        ref = dict(bfs_distances(g, source))
+        levels = bfs_levels(csr, csr.index[source])
+        got = {
+            csr.nodes[i]: int(levels[i])
+            for i in np.flatnonzero(levels != UNREACHED)
+        }
+        assert got == ref

@@ -1,0 +1,130 @@
+"""Unit tests for repro.graph.dynamic (EdgeEvent / TemporalGraph)."""
+
+import pytest
+
+from repro.graph.dynamic import EdgeEvent, TemporalGraph
+
+
+class TestEdgeEvent:
+    def test_fields(self):
+        ev = EdgeEvent(time=3.0, u="a", v="b", weight=2.0)
+        assert ev.endpoints() == ("a", "b")
+        assert ev.weight == 2.0
+
+    def test_ordering_by_time(self):
+        assert EdgeEvent(1, 5, 6) < EdgeEvent(2, 1, 2)
+
+    def test_frozen(self):
+        ev = EdgeEvent(0, 1, 2)
+        with pytest.raises(AttributeError):
+            ev.time = 9
+
+
+class TestConstruction:
+    def test_from_tuples(self):
+        tg = TemporalGraph([(0, 1, 2), (1, 2, 3)])
+        assert tg.num_events == 2
+
+    def test_from_weighted_tuples(self):
+        tg = TemporalGraph([(0, 1, 2, 5.0)])
+        assert tg.events()[0].weight == 5.0
+
+    def test_from_events(self):
+        tg = TemporalGraph([EdgeEvent(0, "x", "y")])
+        assert tg.num_events == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loop"):
+            TemporalGraph([(0, 1, 1)])
+
+    def test_unsorted_events_are_sorted(self):
+        tg = TemporalGraph([(5, 1, 2), (1, 3, 4), (3, 5, 6)])
+        times = [ev.time for ev in tg.events()]
+        assert times == [1, 3, 5]
+
+    def test_stable_sort_preserves_tie_order(self):
+        tg = TemporalGraph([(1, 1, 2), (0, 9, 8), (1, 3, 4)])
+        events = tg.events()
+        assert events[1].endpoints() == (1, 2)
+        assert events[2].endpoints() == (3, 4)
+
+    def test_len(self):
+        assert len(TemporalGraph([(0, 1, 2)])) == 1
+
+
+class TestSnapshots:
+    @pytest.fixture
+    def stream(self) -> TemporalGraph:
+        return TemporalGraph([(i, i, i + 1) for i in range(10)])
+
+    def test_full_snapshot(self, stream):
+        g = stream.snapshot()
+        assert g.num_edges == 10
+        assert g.num_nodes == 11
+
+    def test_snapshot_at_time(self, stream):
+        g = stream.snapshot_at_time(4)
+        assert g.num_edges == 5  # times 0..4 inclusive
+
+    def test_snapshot_at_time_before_start(self, stream):
+        assert stream.snapshot_at_time(-1).num_nodes == 0
+
+    def test_snapshot_at_fraction(self, stream):
+        assert stream.snapshot_at_fraction(0.5).num_edges == 5
+        assert stream.snapshot_at_fraction(0.0).num_edges == 0
+        assert stream.snapshot_at_fraction(1.0).num_edges == 10
+
+    def test_snapshot_fraction_out_of_range(self, stream):
+        with pytest.raises(ValueError):
+            stream.snapshot_at_fraction(1.5)
+        with pytest.raises(ValueError):
+            stream.snapshot_at_fraction(-0.1)
+
+    def test_snapshot_pair_subgraph_relation(self, stream):
+        g1, g2 = stream.snapshot_pair(0.4, 0.8)
+        for u, v in g1.edges():
+            assert g2.has_edge(u, v)
+
+    def test_snapshot_pair_bad_order(self, stream):
+        with pytest.raises(ValueError, match="f1 <= f2"):
+            stream.snapshot_pair(0.9, 0.5)
+
+    def test_repeated_edge_insertions_collapse(self):
+        tg = TemporalGraph([(0, 1, 2), (1, 1, 2), (2, 2, 3)])
+        g = tg.snapshot()
+        assert g.num_edges == 2
+
+    def test_repeated_edge_keeps_first_weight(self):
+        tg = TemporalGraph([(0, 1, 2, 3.0), (1, 1, 2, 9.0)])
+        # First materialised weight wins: re-insertion must never make an
+        # existing edge heavier (distances must not increase).
+        assert tg.snapshot().weight(1, 2) == 3.0
+
+    def test_events_between(self, stream):
+        mid = stream.events_between(0.5, 0.8)
+        assert [ev.time for ev in mid] == [5, 6, 7]
+
+    def test_events_between_full_range(self, stream):
+        assert len(stream.events_between(0.0, 1.0)) == 10
+
+    def test_events_between_bad_range(self, stream):
+        with pytest.raises(ValueError):
+            stream.events_between(0.8, 0.5)
+
+    def test_time_span(self, stream):
+        assert stream.time_span() == (0, 9)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TemporalGraph().time_span()
+
+    def test_incremental_add(self):
+        tg = TemporalGraph()
+        tg.add_edge(0, "a", "b")
+        tg.add_edge(1, "b", "c", weight=2.0)
+        g = tg.snapshot()
+        assert g.num_edges == 2
+        assert g.weight("b", "c") == 2.0
+
+    def test_iteration(self, stream):
+        assert sum(1 for _ in stream) == 10

@@ -1,0 +1,126 @@
+"""Unit tests for repro.graph.landmarks."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.landmarks import (
+    LandmarkTable,
+    delta_l1_norms,
+    delta_linf_norms,
+    landmark_delta_vectors,
+    landmark_distance_table,
+)
+
+from conftest import path_graph
+
+
+@pytest.fixture
+def pair_with_table():
+    """Path 0..5 plus chord (0,5) at t2; landmarks (0, 3)."""
+    g1 = path_graph(6)
+    g2 = g1.copy()
+    g2.add_edge(0, 5)
+    nodes = list(g1.nodes())
+    t1 = landmark_distance_table(g1, [0, 3], nodes)
+    t2 = landmark_distance_table(g2, [0, 3], nodes)
+    return g1, g2, t1, t2
+
+
+class TestLandmarkTable:
+    def test_vector_contents(self, pair_with_table):
+        _, _, t1, _ = pair_with_table
+        assert list(t1.vector(5)) == [5, 2]
+        assert list(t1.vector(0)) == [0, 3]
+
+    def test_num_landmarks(self, pair_with_table):
+        _, _, t1, _ = pair_with_table
+        assert t1.num_landmarks == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            LandmarkTable([1], [1, 2], np.zeros((1, 1), dtype=np.float32))
+
+    def test_missing_landmark_gives_inf_column(self):
+        g = path_graph(3)
+        table = landmark_distance_table(g, [0, 99], list(g.nodes()))
+        assert np.isinf(table.matrix[:, 1]).all()
+        assert np.isfinite(table.matrix[:, 0]).all()
+
+    def test_unreachable_node_gives_inf(self, two_components):
+        table = landmark_distance_table(
+            two_components, [0], list(two_components.nodes())
+        )
+        assert np.isinf(table.vector(10)[0])
+
+    def test_estimate_distance_upper_bounds_true_distance(self):
+        g = path_graph(7)
+        nodes = list(g.nodes())
+        table = landmark_distance_table(g, [2, 5], nodes)
+        from repro.graph.traversal import bfs_distances
+
+        for u in nodes:
+            du = bfs_distances(g, u)
+            for v in nodes:
+                est = table.estimate_distance(u, v)
+                assert est >= du[v] - 1e-9
+
+    def test_estimate_distance_exact_through_landmark(self):
+        g = path_graph(5)
+        table = landmark_distance_table(g, [2], list(g.nodes()))
+        # Paths through node 2 are exact for pairs straddling it.
+        assert table.estimate_distance(0, 4) == 4
+
+
+class TestDeltaVectors:
+    def test_deltas(self, pair_with_table):
+        g1, _, t1, t2 = pair_with_table
+        delta = landmark_delta_vectors(t1, t2)
+        idx = {u: i for i, u in enumerate(t1.nodes)}
+        # Node 5 came 4 closer to landmark 0 (5 -> 1), unchanged to 3.
+        assert delta[idx[5], 0] == 4
+        assert delta[idx[5], 1] == 0
+        # Node 0 is a landmark itself: no self change.
+        assert delta[idx[0], 0] == 0
+
+    def test_nonnegative(self, pair_with_table):
+        _, _, t1, t2 = pair_with_table
+        assert (landmark_delta_vectors(t1, t2) >= 0).all()
+
+    def test_infinite_entries_become_zero(self, two_components):
+        nodes = list(two_components.nodes())
+        t1 = landmark_distance_table(two_components, [0], nodes)
+        g2 = two_components.copy()
+        g2.add_edge(2, 10)
+        t2 = landmark_distance_table(g2, [0], nodes)
+        delta = landmark_delta_vectors(t1, t2)
+        idx = {u: i for i, u in enumerate(nodes)}
+        # Node 10 was unreachable at t1: no measurable change.
+        assert delta[idx[10], 0] == 0
+
+    def test_mismatched_landmarks_raise(self, pair_with_table):
+        g1, g2, t1, _ = pair_with_table
+        other = landmark_distance_table(g2, [1, 3], t1.nodes)
+        with pytest.raises(ValueError, match="landmark"):
+            landmark_delta_vectors(t1, other)
+
+    def test_mismatched_universe_raises(self, pair_with_table):
+        g1, g2, t1, _ = pair_with_table
+        other = landmark_distance_table(g2, [0, 3], [0, 1, 2])
+        with pytest.raises(ValueError, match="universes"):
+            landmark_delta_vectors(t1, other)
+
+
+class TestNorms:
+    def test_l1(self):
+        delta = np.array([[1.0, 2.0], [0.0, 0.0]], dtype=np.float32)
+        assert list(delta_l1_norms(delta)) == [3.0, 0.0]
+
+    def test_linf(self):
+        delta = np.array([[1.0, 2.0], [0.0, 0.0]], dtype=np.float32)
+        assert list(delta_linf_norms(delta)) == [2.0, 0.0]
+
+    def test_empty_landmark_dimension(self):
+        delta = np.zeros((3, 0), dtype=np.float32)
+        assert list(delta_l1_norms(delta)) == [0.0, 0.0, 0.0]
+        assert list(delta_linf_norms(delta)) == [0.0, 0.0, 0.0]

@@ -1,0 +1,114 @@
+"""Unit tests for repro.graph.stats against networkx oracles."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.stats import (
+    average_clustering,
+    degree_assortativity,
+    degree_gini,
+    degree_histogram,
+    local_clustering,
+    summary,
+    transitivity,
+)
+
+from conftest import (
+    complete_graph,
+    path_graph,
+    random_snapshot_pair,
+    star_graph,
+    to_networkx,
+)
+
+
+class TestLocalClustering:
+    def test_triangle_is_one(self, triangle):
+        assert local_clustering(triangle, 0) == 1.0
+
+    def test_path_center_is_zero(self, path5):
+        assert local_clustering(path5, 2) == 0.0
+
+    def test_leaf_is_zero(self, path5):
+        assert local_clustering(path5, 0) == 0.0
+
+    def test_half_closed(self):
+        # 0 connected to 1,2,3; only (1,2) closed: C(0) = 1/3.
+        g = Graph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering(g, 0) == pytest.approx(1 / 3)
+
+    @pytest.mark.parametrize("seed", [101, 102])
+    def test_matches_networkx(self, seed):
+        g, _ = random_snapshot_pair(num_nodes=25, num_edges=70, seed=seed)
+        expected = nx.clustering(to_networkx(g))
+        for u in g.nodes():
+            assert local_clustering(g, u) == pytest.approx(expected[u])
+
+
+class TestAggregateClustering:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert average_clustering(g) == pytest.approx(1.0)
+        assert transitivity(g) == pytest.approx(1.0)
+
+    def test_star_graph(self):
+        g = star_graph(5)
+        assert average_clustering(g) == 0.0
+        assert transitivity(g) == 0.0
+
+    def test_empty(self):
+        assert average_clustering(Graph()) == 0.0
+        assert transitivity(Graph()) == 0.0
+
+    @pytest.mark.parametrize("seed", [103])
+    def test_matches_networkx(self, seed):
+        g, _ = random_snapshot_pair(num_nodes=30, num_edges=90, seed=seed)
+        nxg = to_networkx(g)
+        assert average_clustering(g) == pytest.approx(nx.average_clustering(nxg))
+        assert transitivity(g) == pytest.approx(nx.transitivity(nxg))
+
+
+class TestDegreeStats:
+    def test_histogram(self, path5):
+        assert degree_histogram(path5) == {1: 2, 2: 3}
+
+    def test_gini_uniform_is_zero(self):
+        g = complete_graph(6)
+        assert degree_gini(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_star_is_high(self):
+        assert degree_gini(star_graph(20)) > 0.4
+
+    def test_gini_empty(self):
+        assert degree_gini(Graph()) == 0.0
+
+    def test_assortativity_star_is_negative(self):
+        assert degree_assortativity(star_graph(10)) < 0
+
+    def test_assortativity_regular_is_undefined(self):
+        # A cycle is degree-regular: zero variance -> None.
+        from conftest import cycle_graph
+
+        assert degree_assortativity(cycle_graph(6)) is None
+
+    def test_assortativity_too_few_edges(self):
+        assert degree_assortativity(Graph([(0, 1)])) is None
+
+    @pytest.mark.parametrize("seed", [104, 105])
+    def test_assortativity_matches_networkx(self, seed):
+        g, _ = random_snapshot_pair(num_nodes=30, num_edges=80, seed=seed)
+        got = degree_assortativity(g)
+        expected = nx.degree_assortativity_coefficient(to_networkx(g))
+        assert got == pytest.approx(expected, abs=1e-6)
+
+
+class TestSummary:
+    def test_fields(self, triangle):
+        s = summary(triangle)
+        assert s["nodes"] == 3
+        assert s["edges"] == 3
+        assert s["average_clustering"] == 1.0
+        assert math.isnan(s["degree_assortativity"])  # regular graph

@@ -1,0 +1,204 @@
+"""Unit tests for repro.graph.traversal, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_distances_bounded,
+    bfs_tree,
+    bidirectional_bfs,
+    dijkstra_distances,
+    dijkstra_tree,
+    reconstruct_path,
+    shortest_path_length,
+    single_source_distances,
+)
+
+from conftest import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_snapshot_pair,
+    to_networkx,
+)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        dist = bfs_distances(path_graph(5), 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_source_distance_zero(self, triangle):
+        assert bfs_distances(triangle, 1)[1] == 0
+
+    def test_unreachable_nodes_absent(self, two_components):
+        dist = bfs_distances(two_components, 0)
+        assert 10 not in dist
+        assert 11 not in dist
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(KeyError):
+            bfs_distances(path5, 99)
+
+    def test_cycle(self):
+        dist = bfs_distances(cycle_graph(6), 0)
+        assert dist[3] == 3
+        assert dist[5] == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_networkx_on_random_graphs(self, seed):
+        g, _ = random_snapshot_pair(seed=seed)
+        nxg = to_networkx(g)
+        source = next(iter(g.nodes()))
+        expected = nx.single_source_shortest_path_length(nxg, source)
+        assert bfs_distances(g, source) == dict(expected)
+
+
+class TestBoundedBFS:
+    def test_depth_zero(self, path5):
+        assert bfs_distances_bounded(path5, 2, 0) == {2: 0}
+
+    def test_depth_limits(self, path5):
+        assert bfs_distances_bounded(path5, 0, 2) == {0: 0, 1: 1, 2: 2}
+
+    def test_depth_beyond_diameter(self, path5):
+        assert bfs_distances_bounded(path5, 0, 100) == bfs_distances(path5, 0)
+
+    def test_negative_depth_raises(self, path5):
+        with pytest.raises(ValueError):
+            bfs_distances_bounded(path5, 0, -1)
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(KeyError):
+            bfs_distances_bounded(path5, 42, 1)
+
+
+class TestBFSTree:
+    def test_parent_chain(self, path5):
+        dist, parent = bfs_tree(path5, 0)
+        assert parent[4] == 3
+        assert parent[1] == 0
+        assert 0 not in parent
+
+    def test_path_reconstruction(self, path5):
+        _, parent = bfs_tree(path5, 0)
+        assert reconstruct_path(parent, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_reconstruct_to_source(self, path5):
+        _, parent = bfs_tree(path5, 0)
+        assert reconstruct_path(parent, 0, 0) == [0]
+
+    def test_reconstruct_unreachable(self, two_components):
+        _, parent = bfs_tree(two_components, 0)
+        assert reconstruct_path(parent, 0, 11) is None
+
+    def test_missing_source_raises(self, path5):
+        with pytest.raises(KeyError):
+            bfs_tree(path5, 77)
+
+    def test_path_length_matches_distance(self):
+        g = grid_graph(4, 5)
+        dist, parent = bfs_tree(g, 0)
+        for target, d in dist.items():
+            path = reconstruct_path(parent, 0, target)
+            assert len(path) == d + 1
+
+
+class TestDijkstra:
+    def test_weighted_shortcut(self):
+        # direct edge weight 10 vs two-hop route weight 3.
+        g = Graph([(0, 1, 10.0), (0, 2, 1.0), (2, 1, 2.0)])
+        assert dijkstra_distances(g, 0)[1] == pytest.approx(3.0)
+
+    def test_unweighted_matches_bfs(self):
+        g = grid_graph(3, 4)
+        bfs = bfs_distances(g, 0)
+        dij = dijkstra_distances(g, 0)
+        assert dij == {k: float(v) for k, v in bfs.items()}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KeyError):
+            dijkstra_distances(Graph([(1, 2)]), 9)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_matches_networkx_weighted(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        g = Graph()
+        for _ in range(120):
+            u, v = int(rng.integers(30)), int(rng.integers(30))
+            if u != v:
+                g.add_edge(u, v, float(rng.uniform(0.1, 5.0)))
+        nxg = to_networkx(g)
+        source = next(iter(g.nodes()))
+        expected = nx.single_source_dijkstra_path_length(nxg, source)
+        got = dijkstra_distances(g, source)
+        assert set(got) == set(expected)
+        for node, d in expected.items():
+            assert got[node] == pytest.approx(d)
+
+    def test_dijkstra_tree_path(self):
+        g = Graph([(0, 1, 10.0), (0, 2, 1.0), (2, 1, 2.0)])
+        dist, parent = dijkstra_tree(g, 0)
+        assert reconstruct_path(parent, 0, 1) == [0, 2, 1]
+        assert dist[1] == pytest.approx(3.0)
+
+    def test_dijkstra_tree_missing_source(self):
+        with pytest.raises(KeyError):
+            dijkstra_tree(Graph([(1, 2)]), 3)
+
+    def test_heterogeneous_nodes_no_comparison_error(self):
+        g = Graph([("a", 1, 1.0), (1, (2, 2), 1.0), ("a", (2, 2), 5.0)])
+        dist = dijkstra_distances(g, "a")
+        assert dist[(2, 2)] == pytest.approx(2.0)
+
+
+class TestBidirectionalBFS:
+    def test_same_node(self, path5):
+        assert bidirectional_bfs(path5, 3, 3) == 0
+
+    def test_adjacent(self, path5):
+        assert bidirectional_bfs(path5, 0, 1) == 1
+
+    def test_path_ends(self, path5):
+        assert bidirectional_bfs(path5, 0, 4) == 4
+
+    def test_unreachable_returns_none(self, two_components):
+        assert bidirectional_bfs(two_components, 0, 10) is None
+
+    def test_missing_endpoints_raise(self, path5):
+        with pytest.raises(KeyError):
+            bidirectional_bfs(path5, 99, 0)
+        with pytest.raises(KeyError):
+            bidirectional_bfs(path5, 0, 99)
+
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_matches_bfs_on_random_graphs(self, seed):
+        g, _ = random_snapshot_pair(seed=seed)
+        nodes = list(g.nodes())
+        source = nodes[0]
+        full = bfs_distances(g, source)
+        for target in nodes[1:20]:
+            assert bidirectional_bfs(g, source, target) == full.get(target)
+
+
+class TestDispatch:
+    def test_single_source_unweighted_uses_hops(self, path5):
+        assert single_source_distances(path5, 0)[4] == 4
+
+    def test_single_source_weighted_uses_weights(self):
+        g = Graph([(0, 1, 0.5), (1, 2, 0.5)])
+        assert single_source_distances(g, 0)[2] == pytest.approx(1.0)
+
+    def test_shortest_path_length_unweighted(self, path5):
+        assert shortest_path_length(path5, 0, 3) == 3
+
+    def test_shortest_path_length_weighted(self):
+        g = Graph([(0, 1, 10.0), (0, 2, 1.0), (2, 1, 2.0)])
+        assert shortest_path_length(g, 0, 1) == pytest.approx(3.0)
+
+    def test_shortest_path_length_disconnected(self, two_components):
+        assert shortest_path_length(two_components, 0, 11) is None

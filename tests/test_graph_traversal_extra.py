@@ -1,0 +1,88 @@
+"""Additional traversal coverage: weighted trees, path reconstruction
+on weighted graphs, and cross-engine consistency on larger instances."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_tree,
+    dijkstra_distances,
+    dijkstra_tree,
+    reconstruct_path,
+    shortest_path_length,
+)
+
+from conftest import random_snapshot_pair, to_networkx
+
+
+def random_weighted_graph(num_nodes: int, num_edges: int, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    g = Graph()
+    # Spanning chain keeps it connected, then random weighted extras.
+    for i in range(num_nodes - 1):
+        g.add_edge(i, i + 1, float(rng.uniform(0.5, 2.0)))
+    added = 0
+    while added < num_edges:
+        u, v = int(rng.integers(num_nodes)), int(rng.integers(num_nodes))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, float(rng.uniform(0.1, 3.0)))
+            added += 1
+    return g
+
+
+class TestWeightedTrees:
+    @pytest.mark.parametrize("seed", [201, 202])
+    def test_dijkstra_tree_paths_have_correct_length(self, seed):
+        g = random_weighted_graph(30, 50, seed)
+        dist, parent = dijkstra_tree(g, 0)
+        for target, d in dist.items():
+            path = reconstruct_path(parent, 0, target)
+            assert path is not None
+            assert path[0] == 0 and path[-1] == target
+            length = sum(
+                g.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert length == pytest.approx(d)
+
+    @pytest.mark.parametrize("seed", [203])
+    def test_dijkstra_tree_distances_match_plain_dijkstra(self, seed):
+        g = random_weighted_graph(25, 40, seed)
+        dist_tree, _ = dijkstra_tree(g, 0)
+        dist_plain = dijkstra_distances(g, 0)
+        assert set(dist_tree) == set(dist_plain)
+        for node in dist_plain:
+            assert dist_tree[node] == pytest.approx(dist_plain[node])
+
+    def test_bfs_tree_paths_are_shortest(self):
+        g, _ = random_snapshot_pair(num_nodes=40, num_edges=90, seed=204)
+        dist, parent = bfs_tree(g, next(iter(g.nodes())))
+        nxg = to_networkx(g)
+        source = next(iter(g.nodes()))
+        expected = nx.single_source_shortest_path_length(nxg, source)
+        for node, d in expected.items():
+            assert dist[node] == d
+
+
+class TestPointToPoint:
+    @pytest.mark.parametrize("seed", [205, 206])
+    def test_weighted_point_to_point_matches_networkx(self, seed):
+        g = random_weighted_graph(25, 40, seed)
+        nxg = to_networkx(g)
+        nodes = list(g.nodes())
+        for target in nodes[1:8]:
+            expected = nx.shortest_path_length(
+                nxg, nodes[0], target, weight="weight"
+            )
+            assert shortest_path_length(g, nodes[0], target) == pytest.approx(
+                expected
+            )
+
+    def test_reconstruct_path_wrong_root_is_garbage_in(self):
+        # reconstruct_path trusts its parent map; from the wrong source
+        # the walk terminates at the *actual* root, which is detectable.
+        g = Graph([(0, 1), (1, 2)])
+        _, parent = bfs_tree(g, 0)
+        path = reconstruct_path(parent, 0, 2)
+        assert path == [0, 1, 2]

@@ -1,0 +1,68 @@
+"""Unit tests for repro.graph.validation."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.validation import (
+    GraphValidationError,
+    check_simple,
+    check_snapshot_pair,
+)
+
+from conftest import path_graph
+
+
+class TestCheckSimple:
+    def test_valid_graph_passes(self, path5):
+        check_simple(path5)
+
+    def test_smuggled_self_loop_detected(self):
+        g = Graph([(0, 1)])
+        g._adj[0][0] = 1.0  # bypass add_edge validation
+        with pytest.raises(GraphValidationError, match="self loop"):
+            check_simple(g)
+
+    def test_smuggled_bad_weight_detected(self):
+        g = Graph([(0, 1)])
+        g._adj[0][1] = -2.0
+        g._adj[1][0] = -2.0
+        with pytest.raises(GraphValidationError, match="weight"):
+            check_simple(g)
+
+
+class TestCheckSnapshotPair:
+    def test_valid_pair(self, shortcut_pair):
+        check_snapshot_pair(*shortcut_pair)
+
+    def test_identical_snapshots_are_valid(self, path5):
+        check_snapshot_pair(path5, path5)
+
+    def test_missing_node_detected(self):
+        g1 = path_graph(4)
+        g2 = path_graph(3)
+        with pytest.raises(GraphValidationError, match="node"):
+            check_snapshot_pair(g1, g2)
+
+    def test_missing_edge_detected(self):
+        g1 = Graph([(0, 1), (1, 2)])
+        g2 = Graph([(0, 1), (1, 3)])
+        g2.add_node(2)
+        with pytest.raises(GraphValidationError, match="edge"):
+            check_snapshot_pair(g1, g2)
+
+    def test_weight_increase_detected(self):
+        g1 = Graph([(0, 1, 1.0)])
+        g2 = Graph([(0, 1, 3.0)])
+        with pytest.raises(GraphValidationError, match="increased"):
+            check_snapshot_pair(g1, g2)
+
+    def test_weight_decrease_allowed(self):
+        g1 = Graph([(0, 1, 3.0)])
+        g2 = Graph([(0, 1, 1.0)])
+        check_snapshot_pair(g1, g2)
+
+    def test_new_nodes_and_edges_allowed(self, path5):
+        g2 = path5.copy()
+        g2.add_edge(4, 5)
+        g2.add_edge(0, 3)
+        check_snapshot_pair(path5, g2)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.ml.features."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SPBudget
+from repro.ml.features import (
+    GRAPH_FEATURE_NAMES,
+    NODE_FEATURE_NAMES,
+    append_graph_features,
+    extract_node_features,
+    graph_level_features,
+)
+
+from conftest import path_graph
+
+
+@pytest.fixture
+def chord_pair():
+    g1 = path_graph(8)
+    g2 = g1.copy()
+    g2.add_edge(0, 7)
+    return g1, g2
+
+
+class TestNodeFeatures:
+    def test_shape_and_row_order(self, chord_pair):
+        g1, g2 = chord_pair
+        feats = extract_node_features(g1, g2, 2, np.random.default_rng(0))
+        assert feats.matrix.shape == (8, len(NODE_FEATURE_NAMES))
+        assert feats.nodes == list(g1.nodes())
+
+    def test_degree_columns(self, chord_pair):
+        g1, g2 = chord_pair
+        feats = extract_node_features(g1, g2, 2, np.random.default_rng(0))
+        idx = {u: i for i, u in enumerate(feats.nodes)}
+        row0 = feats.matrix[idx[0]]
+        assert row0[0] == 1  # deg_t1
+        assert row0[1] == 2  # deg_t2 (chord added)
+        assert row0[2] == 1  # diff
+        assert row0[3] == 1.0  # rel = 1/1
+        row3 = feats.matrix[idx[3]]
+        assert row3[2] == 0
+
+    def test_budget_charged_6l(self, chord_pair):
+        g1, g2 = chord_pair
+        budget = SPBudget(100)
+        extract_node_features(g1, g2, 3, np.random.default_rng(0), budget=budget)
+        assert budget.spent == 18
+        assert budget.by_phase() == {"generation": 18}
+
+    def test_landmark_rows_cached_for_both_snapshots(self, chord_pair):
+        g1, g2 = chord_pair
+        feats = extract_node_features(g1, g2, 2, np.random.default_rng(0))
+        assert set(feats.d1_rows) == set(feats.d2_rows)
+        assert set(feats.landmark_nodes) == set(feats.d1_rows)
+        assert 1 <= len(feats.landmark_nodes) <= 6
+
+    def test_landmark_delta_columns_nonnegative(self, chord_pair):
+        g1, g2 = chord_pair
+        feats = extract_node_features(g1, g2, 3, np.random.default_rng(1))
+        assert (feats.matrix[:, 4:] >= 0).all()
+
+    def test_no_change_gives_zero_delta_columns(self, path5):
+        feats = extract_node_features(path5, path5, 2, np.random.default_rng(0))
+        assert (feats.matrix[:, 4:] == 0).all()
+
+    def test_invalid_landmark_count(self, chord_pair):
+        with pytest.raises(ValueError):
+            extract_node_features(*chord_pair, 0, np.random.default_rng(0))
+
+    def test_deterministic_given_rng_seed(self, chord_pair):
+        g1, g2 = chord_pair
+        a = extract_node_features(g1, g2, 2, np.random.default_rng(7))
+        b = extract_node_features(g1, g2, 2, np.random.default_rng(7))
+        assert (a.matrix == b.matrix).all()
+        assert a.landmark_nodes == b.landmark_nodes
+
+
+class TestGraphFeatures:
+    def test_values(self, chord_pair):
+        g1, g2 = chord_pair
+        gf = graph_level_features(g1, g2)
+        assert gf.shape == (len(GRAPH_FEATURE_NAMES),)
+        assert gf[0] == pytest.approx(g1.density())
+        assert gf[3] == g2.max_degree()
+
+    def test_append_broadcasts(self, chord_pair):
+        g1, g2 = chord_pair
+        matrix = np.zeros((5, 3))
+        out = append_graph_features(matrix, graph_level_features(g1, g2))
+        assert out.shape == (5, 7)
+        assert (out[0, 3:] == out[4, 3:]).all()
+
+    def test_append_requires_2d(self):
+        with pytest.raises(ValueError):
+            append_graph_features(np.zeros(3), np.zeros(4))

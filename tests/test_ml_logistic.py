@@ -1,0 +1,117 @@
+"""Unit tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression, _sigmoid
+
+
+def linearly_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + 2 * X[:, 1] > 0).astype(float)
+    return X, y
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert _sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_are_stable(self):
+        z = np.array([-1000.0, 1000.0])
+        out = _sigmoid(z)
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        assert _sigmoid(z) + _sigmoid(-z) == pytest.approx(np.ones(11))
+
+
+class TestFit:
+    def test_separable_data_high_accuracy(self):
+        X, y = linearly_separable()
+        model = LogisticRegression(l2=0.1).fit(X, y)
+        acc = (model.predict(X) == y).mean()
+        assert acc > 0.97
+
+    def test_probabilities_in_unit_interval(self):
+        X, y = linearly_separable(seed=1)
+        model = LogisticRegression().fit(X, y)
+        p = model.predict_proba(X)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_probability_ranking_correlates_with_margin(self):
+        from scipy.stats import spearmanr
+
+        X, y = linearly_separable(seed=2)
+        model = LogisticRegression().fit(X, y)
+        margin = X[:, 0] + 2 * X[:, 1]
+        p = model.predict_proba(X)
+        # Rank correlation: the sigmoid saturates, so Pearson would
+        # understate how faithfully probabilities order the margin.
+        assert spearmanr(margin, p).statistic > 0.97
+
+    def test_regularisation_shrinks_weights(self):
+        X, y = linearly_separable(seed=3)
+        w_small = LogisticRegression(l2=0.01).fit(X, y).coef_
+        w_large = LogisticRegression(l2=100.0).fit(X, y).coef_
+        assert np.linalg.norm(w_large) < np.linalg.norm(w_small)
+
+    def test_intercept_learned(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(300, 1))
+        y = (X[:, 0] > 1.0).astype(float)  # shifted boundary
+        model = LogisticRegression(l2=0.01, class_weight=None).fit(X, y)
+        # Decision boundary approx at x = 1 -> intercept/coef ≈ -1.
+        boundary = -model.intercept_ / model.coef_[0]
+        assert boundary == pytest.approx(1.0, abs=0.3)
+
+    def test_balanced_weights_help_rare_class(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(-1, 1, (500, 1)), rng.normal(1.5, 1, (20, 1))])
+        y = np.concatenate([np.zeros(500), np.ones(20)])
+        balanced = LogisticRegression(class_weight="balanced").fit(X, y)
+        plain = LogisticRegression(class_weight=None).fit(X, y)
+        recall_b = balanced.predict(X[y == 1]).mean()
+        recall_p = plain.predict(X[y == 1]).mean()
+        assert recall_b >= recall_p
+
+    def test_constant_features_ok(self):
+        X = np.ones((50, 2))
+        y = np.concatenate([np.zeros(25), np.ones(25)])
+        model = LogisticRegression().fit(X, y)
+        p = model.predict_proba(X)
+        assert p == pytest.approx(np.full(50, 0.5), abs=0.05)
+
+
+class TestValidation:
+    def test_requires_2d_x(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LogisticRegression().fit(np.zeros(5), np.zeros(5))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            LogisticRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_nonbinary_labels(self):
+        with pytest.raises(ValueError, match="0/1"):
+            LogisticRegression().fit(np.zeros((3, 1)), np.array([0, 1, 2]))
+
+    def test_bad_l2(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_bad_class_weight(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(class_weight="boosted")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_decision_function_matches_manual_logit(self):
+        X, y = linearly_separable(seed=6)
+        model = LogisticRegression().fit(X, y)
+        manual = X @ model.coef_ + model.intercept_
+        assert model.decision_function(X) == pytest.approx(manual)

@@ -1,0 +1,121 @@
+"""Unit tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import community_bridge_stream
+from repro.ml.persistence import (
+    ModelPersistenceError,
+    load_model,
+    save_model,
+)
+from repro.ml.training import (
+    TrainedModel,
+    train_global_classifier,
+    train_local_classifier,
+)
+
+
+@pytest.fixture(scope="module")
+def local_model():
+    stream = community_bridge_stream(150, num_communities=5, seed=3)
+    return train_local_classifier(stream, num_landmarks=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def global_model():
+    streams = {
+        "a": community_bridge_stream(150, num_communities=5, seed=3),
+        "b": community_bridge_stream(120, num_communities=4, seed=4),
+    }
+    return train_global_classifier(streams, num_landmarks=3, seed=0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fixture", ["local_model", "global_model"])
+    def test_roundtrip_preserves_predictions(self, fixture, request, tmp_path):
+        model = request.getfixturevalue(fixture)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+
+        X = np.random.default_rng(0).normal(
+            size=(20, len(model.feature_names))
+        )
+        assert loaded.score_nodes(X) == pytest.approx(model.score_nodes(X))
+
+    def test_metadata_preserved(self, local_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(local_model, path)
+        loaded = load_model(path)
+        assert loaded.feature_names == local_model.feature_names
+        assert loaded.uses_graph_features == local_model.uses_graph_features
+        assert loaded.num_landmarks == local_model.num_landmarks
+        assert loaded.positive_fraction == pytest.approx(
+            local_model.positive_fraction
+        )
+
+    def test_loaded_model_drives_selector(self, local_model, tmp_path):
+        from repro.selection import LocalClassifierSelector
+
+        path = tmp_path / "model.npz"
+        save_model(local_model, path)
+        selector = LocalClassifierSelector(load_model(path))
+        assert selector.model.num_landmarks == local_model.num_landmarks
+
+    def test_extension_appended_automatically(self, local_model, tmp_path):
+        # np.savez appends .npz when missing; load must find the file.
+        bare = tmp_path / "model"
+        save_model(local_model, bare)
+        loaded = load_model(bare)
+        assert loaded.feature_names == local_model.feature_names
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self, tmp_path):
+        from repro.ml.logistic import LogisticRegression
+        from repro.ml.scaling import MinMaxScaler
+
+        bundle = TrainedModel(
+            model=LogisticRegression(),
+            scaler=MinMaxScaler(),
+            feature_names=("a",),
+            uses_graph_features=False,
+            num_landmarks=1,
+            positive_fraction=0.0,
+        )
+        with pytest.raises(ModelPersistenceError, match="unfitted"):
+            save_model(bundle, tmp_path / "m.npz")
+
+    def test_missing_field_rejected(self, local_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(local_model, path)
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive if k != "coef"}
+        np.savez(path, **data)
+        with pytest.raises(ModelPersistenceError, match="coef"):
+            load_model(path)
+
+    def test_wrong_version_rejected(self, local_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(local_model, path)
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive}
+        data["format_version"] = np.array(99)
+        np.savez(path, **data)
+        with pytest.raises(ModelPersistenceError, match="version"):
+            load_model(path)
+
+    def test_shape_mismatch_rejected(self, local_model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(local_model, path)
+        with np.load(path) as archive:
+            data = {k: archive[k] for k in archive}
+        data["coef"] = np.zeros(3)
+        np.savez(path, **data)
+        with pytest.raises(ModelPersistenceError, match="does not match"):
+            load_model(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope.npz")

@@ -1,0 +1,60 @@
+"""Unit tests for the [-1, 1] min-max scaler."""
+
+import numpy as np
+import pytest
+
+from repro.ml.scaling import MinMaxScaler
+
+
+class TestFitTransform:
+    def test_maps_to_unit_interval(self):
+        X = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+        assert out[1] == pytest.approx([0.0, 0.0])
+
+    def test_constant_column_maps_to_midpoint(self):
+        X = np.array([[1.0, 3.0], [1.0, 5.0]])
+        out = MinMaxScaler().fit_transform(X)
+        assert out[:, 0] == pytest.approx([0.0, 0.0])
+
+    def test_custom_range(self):
+        X = np.array([[0.0], [1.0]])
+        out = MinMaxScaler(feature_range=(0.0, 10.0)).fit_transform(X)
+        assert list(out.ravel()) == [0.0, 10.0]
+
+    def test_transform_extrapolates_outside_training_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[20.0]]))
+        assert out[0, 0] == pytest.approx(3.0)
+
+    def test_transform_preserves_order(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 1))
+        scaler = MinMaxScaler().fit(X)
+        out = scaler.transform(X).ravel()
+        assert (np.argsort(out) == np.argsort(X.ravel())).all()
+
+
+class TestValidation:
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, -1.0))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MinMaxScaler().transform(np.zeros((1, 2)))
+
+    def test_fit_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            MinMaxScaler().fit(np.zeros(5))
+
+    def test_fit_empty_matrix(self):
+        with pytest.raises(ValueError, match="empty"):
+            MinMaxScaler().fit(np.zeros((0, 3)))
+
+    def test_column_count_mismatch(self):
+        scaler = MinMaxScaler().fit(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            scaler.transform(np.zeros((2, 2)))

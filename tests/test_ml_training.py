@@ -1,0 +1,118 @@
+"""Unit tests for repro.ml.training and the classifier selectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SPBudget
+from repro.datasets.generators import community_bridge_stream
+from repro.ml.training import (
+    build_training_examples,
+    train_global_classifier,
+    train_local_classifier,
+    training_delta_threshold,
+)
+from repro.selection import (
+    GlobalClassifierSelector,
+    LocalClassifierSelector,
+    get_selector,
+)
+
+from conftest import path_graph, random_temporal_graph
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return community_bridge_stream(
+        num_nodes=150, num_communities=5, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def local_model(stream):
+    return train_local_classifier(stream, num_landmarks=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def global_model(stream):
+    streams = {
+        "a": stream,
+        "b": random_temporal_graph(100, 300, seed=9),
+    }
+    return train_global_classifier(streams, num_landmarks=3, seed=0)
+
+
+class TestThreshold:
+    def test_offset_applied(self, shortcut_pair):
+        g1, g2 = shortcut_pair  # Δmax = 4
+        assert training_delta_threshold(g1, g2, 1) == 3
+
+    def test_clamped_at_one(self, shortcut_pair):
+        assert training_delta_threshold(*shortcut_pair, 10) == 1
+
+    def test_none_when_nothing_converges(self, path5):
+        assert training_delta_threshold(path5, path5, 0) is None
+
+
+class TestTrainingExamples:
+    def test_shapes_and_labels(self, stream):
+        X, y, g1, g2 = build_training_examples(stream, num_landmarks=3, seed=0)
+        assert X.shape[0] == y.shape[0] == g1.num_nodes
+        assert set(np.unique(y)) <= {0.0, 1.0}
+        assert 0 < y.sum() < y.size  # some positives, not all
+
+    def test_training_uses_early_snapshots(self, stream):
+        _, _, g1, g2 = build_training_examples(stream, num_landmarks=3, seed=0)
+        full = stream.snapshot()
+        assert g2.num_edges < full.num_edges
+
+
+class TestLocalModel:
+    def test_model_metadata(self, local_model):
+        assert not local_model.uses_graph_features
+        assert local_model.num_landmarks == 3
+        assert 0 < local_model.positive_fraction < 1
+
+    def test_scores_are_probabilities(self, local_model):
+        scores = local_model.score_nodes(np.zeros((4, 10)))
+        assert ((0 <= scores) & (scores <= 1)).all()
+
+    def test_selector_wraps_model(self, stream, local_model):
+        g1, g2 = stream.snapshot_pair(0.8, 1.0)
+        selector = LocalClassifierSelector(local_model)
+        budget = SPBudget(2 * 20)
+        result = selector.select(g1, g2, 20, budget, np.random.default_rng(0))
+        assert len(result.candidates) <= 20
+        assert budget.spent <= 40
+
+    def test_selector_rejects_global_model(self, global_model):
+        with pytest.raises(ValueError, match="graph-level"):
+            LocalClassifierSelector(global_model)
+
+    def test_selector_rejects_non_model(self):
+        with pytest.raises(TypeError):
+            LocalClassifierSelector("not a model")
+
+
+class TestGlobalModel:
+    def test_model_metadata(self, global_model):
+        assert global_model.uses_graph_features
+        assert len(global_model.feature_names) == 14
+
+    def test_selector_wraps_model(self, stream, global_model):
+        g1, g2 = stream.snapshot_pair(0.8, 1.0)
+        selector = GlobalClassifierSelector(global_model)
+        budget = SPBudget(2 * 20)
+        result = selector.select(g1, g2, 20, budget, np.random.default_rng(0))
+        assert len(result.candidates) <= 20
+
+    def test_selector_rejects_local_model(self, local_model):
+        with pytest.raises(ValueError, match="L-Classifier"):
+            GlobalClassifierSelector(local_model)
+
+    def test_registry_construction(self, local_model):
+        selector = get_selector("L-Classifier", model=local_model)
+        assert isinstance(selector, LocalClassifierSelector)
+
+    def test_empty_dataset_dict_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            train_global_classifier({})

@@ -1,0 +1,107 @@
+"""Unit tests for the centrality-based selectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SPBudget
+from repro.graph.graph import Graph
+from repro.selection import get_selector
+
+from conftest import star_graph
+
+
+@pytest.fixture
+def degree_pair():
+    """t1: star on 0 plus pendant chain; t2 adds edges at node 5.
+
+    Degrees t1: 0 -> 4 (hub), 5 -> 1.  t2 adds (5,6),(5,7),(5,8):
+    deg(5) goes 1 -> 4 (diff 3, rel 3.0); hub stays 4 (diff 0).
+    """
+    g1 = star_graph(4)  # 0 hub, leaves 1..4
+    g1.add_edge(4, 5)
+    g2 = g1.copy()
+    for leaf in (6, 7, 8):
+        g2.add_edge(5, leaf)
+    return g1, g2
+
+
+def run(selector_name, g1, g2, m, **kwargs):
+    selector = get_selector(selector_name, **kwargs)
+    budget = SPBudget(2 * m)
+    result = selector.select(g1, g2, m, budget, rng=np.random.default_rng(0))
+    return result, budget
+
+
+class TestDegree:
+    def test_picks_hub_first(self, degree_pair):
+        g1, g2 = degree_pair
+        result, _ = run("Degree", g1, g2, 1)
+        assert result.candidates == [0]
+
+    def test_ranking_is_by_t1_degree(self, degree_pair):
+        g1, g2 = degree_pair
+        result, _ = run("Degree", g1, g2, 3)
+        degrees = [g1.degree(u) for u in result.candidates]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_no_generation_cost(self, degree_pair):
+        _, budget = run("Degree", *degree_pair, 3)
+        assert budget.spent == 0
+
+    def test_candidates_at_most_m(self, degree_pair):
+        result, _ = run("Degree", *degree_pair, 100)
+        assert len(result.candidates) == degree_pair[0].num_nodes
+
+    def test_invalid_m(self, degree_pair):
+        with pytest.raises(ValueError):
+            run("Degree", *degree_pair, 0)
+
+
+class TestDegDiff:
+    def test_picks_grower_first(self, degree_pair):
+        g1, g2 = degree_pair
+        result, _ = run("DegDiff", g1, g2, 1)
+        assert result.candidates == [5]
+
+    def test_only_t1_nodes_returned(self, degree_pair):
+        g1, g2 = degree_pair
+        result, _ = run("DegDiff", g1, g2, 20)
+        assert all(u in g1 for u in result.candidates)
+        assert 6 not in result.candidates  # new node, not in V_t1
+
+    def test_no_generation_cost(self, degree_pair):
+        _, budget = run("DegDiff", *degree_pair, 3)
+        assert budget.spent == 0
+
+
+class TestDegRel:
+    def test_relative_growth_beats_absolute_degree(self, degree_pair):
+        g1, g2 = degree_pair
+        result, _ = run("DegRel", g1, g2, 1)
+        assert result.candidates == [5]  # 3/1 beats hub's 0/4
+
+    def test_relative_vs_absolute_ordering(self):
+        # u grows 10 -> 12 (rel 0.2); v grows 1 -> 2 (rel 1.0).
+        g1 = Graph((("u", f"x{i}") for i in range(10)))
+        g1.add_edge("v", "w")
+        g2 = g1.copy()
+        g2.add_edge("u", "y1")
+        g2.add_edge("u", "y2")
+        g2.add_edge("v", "z")
+        result, _ = run("DegRel", g1, g2, 2)
+        assert result.candidates[0] == "v"
+
+    def test_isolated_t1_node_scored_finitely(self):
+        g1 = Graph([(0, 1)])
+        g1.add_node(9)
+        g2 = g1.copy()
+        g2.add_edge(9, 0)
+        g2.add_edge(9, 1)
+        result, _ = run("DegRel", g1, g2, 1)
+        assert result.candidates == [9]  # (2-0)/max(0,1) = 2
+
+    def test_deterministic_tie_break(self, degree_pair):
+        g1, g2 = degree_pair
+        a, _ = run("DegRel", g1, g2, 5)
+        b, _ = run("DegRel", g1, g2, 5)
+        assert a.candidates == b.candidates

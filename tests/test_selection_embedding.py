@@ -1,0 +1,123 @@
+"""Unit tests for the Orion-style coordinate-embedding extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SPBudget
+from repro.selection import get_selector
+from repro.selection.embedding import classical_mds, trilaterate
+
+from conftest import path_graph
+
+
+class TestClassicalMDS:
+    def test_recovers_line_geometry(self):
+        # Points on a line at 0, 3, 7: MDS must reproduce the distances.
+        d = np.array([[0.0, 3.0, 7.0], [3.0, 0.0, 4.0], [7.0, 4.0, 0.0]])
+        coords = classical_mds(d, 2)
+        for i in range(3):
+            for j in range(3):
+                got = np.linalg.norm(coords[i] - coords[j])
+                assert got == pytest.approx(d[i, j], abs=1e-8)
+
+    def test_recovers_triangle(self):
+        d = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+        coords = classical_mds(d, 2)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.linalg.norm(coords[i] - coords[j]) == pytest.approx(
+                    1.0, abs=1e-8
+                )
+
+    def test_output_shape(self):
+        d = np.zeros((4, 4))
+        assert classical_mds(d, 3).shape == (4, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            classical_mds(np.zeros((2, 3)), 2)
+        with pytest.raises(ValueError, match="dimensions"):
+            classical_mds(np.zeros((2, 2)), 0)
+
+
+class TestTrilateration:
+    def test_exact_recovery_in_2d(self):
+        landmarks = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 3.0]])
+        point = np.array([2.0, 1.0])
+        dists = np.linalg.norm(landmarks - point, axis=1)
+        got = trilaterate(landmarks, dists)
+        assert got == pytest.approx(point, abs=1e-8)
+
+    def test_infinite_distances_ignored(self):
+        landmarks = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 3.0], [9.0, 9.0]])
+        point = np.array([2.0, 1.0])
+        dists = np.append(np.linalg.norm(landmarks[:3] - point, axis=1), np.inf)
+        got = trilaterate(landmarks, dists)
+        assert got == pytest.approx(point, abs=1e-8)
+
+    def test_underdetermined_falls_back_to_centroid(self):
+        landmarks = np.array([[0.0, 0.0], [4.0, 0.0]])
+        got = trilaterate(landmarks, np.array([1.0, np.inf]))
+        assert got == pytest.approx([0.0, 0.0])
+
+    def test_all_unreachable_gives_origin(self):
+        landmarks = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        got = trilaterate(landmarks, np.full(3, np.inf))
+        assert got == pytest.approx([0.0, 0.0])
+
+
+class TestCoordDiffSelector:
+    @pytest.fixture
+    def chord_pair(self):
+        g1 = path_graph(12)
+        g2 = g1.copy()
+        g2.add_edge(0, 11)
+        return g1, g2
+
+    def test_budget_split_matches_hybrids(self, chord_pair):
+        g1, g2 = chord_pair
+        selector = get_selector("CoordDiff", num_landmarks=3)
+        budget = SPBudget(2 * 6)
+        result = selector.select(g1, g2, 6, budget, np.random.default_rng(0))
+        assert budget.spent == 6  # 2l
+        assert len(result.candidates) == 6
+        assert set(result.candidates[:3]) == set(result.d1_rows)
+
+    def test_displaced_nodes_rank_high(self, chord_pair):
+        g1, g2 = chord_pair
+        # The chord ends move the most in the embedding; over several
+        # seeds they should regularly appear among the ranked picks.
+        hits = 0
+        for seed in range(6):
+            selector = get_selector("CoordDiff", num_landmarks=3)
+            result = selector.select(
+                g1, g2, 6, SPBudget(None), np.random.default_rng(seed)
+            )
+            hits += any(u in (0, 11) for u in result.candidates)
+        assert hits >= 5
+
+    @pytest.mark.parametrize("policy", ["maxmin", "maxavg", "random"])
+    def test_all_landmark_policies_run(self, policy, chord_pair):
+        g1, g2 = chord_pair
+        selector = get_selector(
+            "CoordDiff", num_landmarks=3, landmark_policy=policy
+        )
+        result = selector.select(
+            g1, g2, 5, SPBudget(10), np.random.default_rng(1)
+        )
+        assert len(result.candidates) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            get_selector("CoordDiff", num_landmarks=0)
+        with pytest.raises(ValueError):
+            get_selector("CoordDiff", dimensions=0)
+        with pytest.raises(ValueError):
+            get_selector("CoordDiff", landmark_policy="orion")
+
+    def test_no_change_scores_zero_everywhere(self, path5):
+        selector = get_selector("CoordDiff", num_landmarks=2)
+        result = selector.select(
+            path5, path5, 4, SPBudget(None), np.random.default_rng(0)
+        )
+        assert len(result.candidates) == 4

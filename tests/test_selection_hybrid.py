@@ -1,0 +1,91 @@
+"""Unit tests for the hybrid selectors (MMSD / MMMD / MASD / MAMD)."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SPBudget
+from repro.selection import get_selector
+
+from conftest import path_graph
+
+HYBRIDS = ["MMSD", "MMMD", "MASD", "MAMD"]
+
+
+@pytest.fixture
+def chord_pair():
+    g1 = path_graph(10)
+    g2 = g1.copy()
+    g2.add_edge(0, 9)
+    return g1, g2
+
+
+def run(name, g1, g2, m, l=3, seed=0):
+    selector = get_selector(name, num_landmarks=l)
+    budget = SPBudget(2 * m)
+    result = selector.select(g1, g2, m, budget, rng=np.random.default_rng(seed))
+    return result, budget
+
+
+class TestHybrids:
+    @pytest.mark.parametrize("name", HYBRIDS)
+    def test_budget_split_matches_table1(self, name, chord_pair):
+        g1, g2 = chord_pair
+        result, budget = run(name, g1, g2, m=6, l=3)
+        assert budget.spent == 6  # 2l
+        assert budget.by_snapshot() == {"g1": 3, "g2": 3}
+
+    @pytest.mark.parametrize("name", HYBRIDS)
+    def test_landmark_rows_cached_in_both_snapshots(self, name, chord_pair):
+        result, _ = run(name, *chord_pair, m=6, l=3)
+        assert len(result.d1_rows) == 3
+        assert set(result.d1_rows) == set(result.d2_rows)
+        assert set(result.candidates[:3]) == set(result.d1_rows)
+
+    @pytest.mark.parametrize("name", HYBRIDS)
+    def test_full_m_candidates(self, name, chord_pair):
+        result, _ = run(name, *chord_pair, m=6, l=3)
+        assert len(result.candidates) == 6
+        assert len(set(result.candidates)) == 6
+
+    def test_landmarks_are_dispersed_not_random(self, chord_pair):
+        """MaxMin-seeded landmarks on the 10-path must be well spread.
+
+        Whatever the random start, the greedy's second pick is a path
+        endpoint and three picks are pairwise >= 3 hops apart (a uniform
+        random triple violates this most of the time).
+        """
+        g1, g2 = chord_pair
+        for seed in range(5):
+            result, _ = run("MMSD", g1, g2, m=6, l=3, seed=seed)
+            landmarks = result.candidates[:3]
+            assert any(u in (0, 9) for u in landmarks)
+            spacing = min(
+                abs(a - b)
+                for i, a in enumerate(landmarks)
+                for b in landmarks[i + 1 :]
+            )
+            assert spacing >= 3
+
+    def test_hybrid_total_spend_through_algorithm(self, chord_pair):
+        from repro.core.algorithm import find_top_k_converging_pairs
+
+        g1, g2 = chord_pair
+        result = find_top_k_converging_pairs(
+            g1, g2, k=3, m=6, selector=get_selector("MMSD", num_landmarks=3),
+            seed=0,
+        )
+        assert result.budget.spent == 12  # exactly 2m
+        assert result.budget.by_phase() == {"generation": 6, "topk": 6}
+
+    def test_finds_the_chord_pair(self, chord_pair):
+        from repro.core.algorithm import find_top_k_converging_pairs
+
+        g1, g2 = chord_pair
+        hits = 0
+        for seed in range(5):
+            result = find_top_k_converging_pairs(
+                g1, g2, k=1, m=6,
+                selector=get_selector("MMSD", num_landmarks=3), seed=seed,
+            )
+            hits += bool(result.pairs and result.pairs[0].pair == (0, 9))
+        assert hits >= 4  # dispersion reaches the path ends essentially always

@@ -1,0 +1,124 @@
+"""Unit tests for the landmark-based selectors (SumDiff / MaxDiff)."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SPBudget
+from repro.graph.graph import Graph
+from repro.selection import get_selector
+from repro.selection.landmark import (
+    assemble_candidates,
+    effective_num_landmarks,
+    sample_landmarks,
+)
+
+from conftest import path_graph
+
+
+def run(name, g1, g2, m, l=2, seed=0):
+    selector = get_selector(name, num_landmarks=l)
+    budget = SPBudget(2 * m)
+    result = selector.select(g1, g2, m, budget, rng=np.random.default_rng(seed))
+    return result, budget
+
+
+class TestHelpers:
+    def test_effective_num_landmarks_clamps(self):
+        assert effective_num_landmarks(10, 100) == 10
+        assert effective_num_landmarks(10, 12) == 6
+        assert effective_num_landmarks(10, 100, tables=3) == 10
+        assert effective_num_landmarks(10, 30, tables=3) == 5
+        assert effective_num_landmarks(10, 2) == 1
+
+    def test_effective_num_landmarks_rejects_tiny_budget(self):
+        with pytest.raises(ValueError, match="m >= 2"):
+            effective_num_landmarks(10, 1)
+
+    def test_sample_landmarks_distinct(self, path5):
+        lms = sample_landmarks(path5, 3, np.random.default_rng(0))
+        assert len(set(lms)) == 3
+        assert all(u in path5 for u in lms)
+
+    def test_sample_landmarks_too_many(self, path5):
+        with pytest.raises(ValueError):
+            sample_landmarks(path5, 6, np.random.default_rng(0))
+
+    def test_sample_deterministic(self, path5):
+        a = sample_landmarks(path5, 2, np.random.default_rng(5))
+        b = sample_landmarks(path5, 2, np.random.default_rng(5))
+        assert a == b
+
+    def test_assemble_candidates_landmarks_first(self):
+        scores = {0: 0.0, 1: 9.0, 2: 5.0, 3: 1.0}
+        out = assemble_candidates([2, 0], scores, 3)
+        assert out == [2, 0, 1]
+
+    def test_assemble_respects_m(self):
+        scores = {i: float(i) for i in range(10)}
+        out = assemble_candidates([0, 1, 2], scores, 2)
+        assert out == [0, 1]
+
+
+class TestSumDiffMaxDiff:
+    @pytest.fixture
+    def chord_pair(self):
+        """Path 0..7; t2 adds chord (0, 7)."""
+        g1 = path_graph(8)
+        g2 = g1.copy()
+        g2.add_edge(0, 7)
+        return g1, g2
+
+    @pytest.mark.parametrize("name", ["SumDiff", "MaxDiff"])
+    def test_budget_split(self, name, chord_pair):
+        g1, g2 = chord_pair
+        result, budget = run(name, g1, g2, m=5, l=2)
+        # 2l generation; landmarks cached in both snapshots.
+        assert budget.spent == 4
+        assert budget.by_phase() == {"generation": 4}
+        assert len(result.d1_rows) == 2
+        assert len(result.d2_rows) == 2
+
+    @pytest.mark.parametrize("name", ["SumDiff", "MaxDiff"])
+    def test_candidate_count_is_m(self, name, chord_pair):
+        result, _ = run(name, *chord_pair, m=5, l=2)
+        assert len(result.candidates) == 5
+        assert len(set(result.candidates)) == 5
+
+    @pytest.mark.parametrize("name", ["SumDiff", "MaxDiff"])
+    def test_landmarks_lead_the_candidate_list(self, name, chord_pair):
+        result, _ = run(name, *chord_pair, m=5, l=2)
+        assert set(result.candidates[:2]) == set(result.d1_rows)
+
+    def test_high_scoring_nodes_selected(self, chord_pair):
+        g1, g2 = chord_pair
+        # With enough repetitions over random landmark draws, the chord
+        # endpoints 0/7 (the nodes that actually converged) must appear
+        # among the score-ranked candidates almost always.
+        hits = 0
+        for seed in range(10):
+            result, _ = run("SumDiff", g1, g2, m=4, l=2, seed=seed)
+            ranked_part = result.candidates[2:]
+            hits += any(u in (0, 7) for u in ranked_part)
+        assert hits >= 8
+
+    def test_num_landmarks_validation(self):
+        with pytest.raises(ValueError):
+            get_selector("SumDiff", num_landmarks=0)
+
+    def test_small_budget_clamps_landmarks(self, chord_pair):
+        g1, g2 = chord_pair
+        result, budget = run("SumDiff", g1, g2, m=2, l=10)
+        # effective l = 1: 2 generation SSSPs, 1 landmark + 1 ranked.
+        assert budget.by_phase() == {"generation": 2}
+        assert len(result.candidates) == 2
+
+    def test_identical_snapshots_give_zero_scores(self, path5):
+        result, _ = run("SumDiff", path5, path5, m=3, l=1)
+        # All scores zero -> ranked part falls back to deterministic order.
+        assert len(result.candidates) == 3
+
+    def test_rng_default_when_not_provided(self, chord_pair):
+        g1, g2 = chord_pair
+        selector = get_selector("SumDiff", num_landmarks=2)
+        result = selector.select(g1, g2, 4, SPBudget(None))
+        assert len(result.candidates) == 4

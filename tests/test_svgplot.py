@@ -1,0 +1,100 @@
+"""Unit tests for the SVG chart renderer and the figure script."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.svgplot import PALETTE, line_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+SERIES = {
+    "SumDiff": [(10, 0.4), (20, 0.7), (40, 0.9)],
+    "MaxDiff": [(10, 0.3), (20, 0.5), (40, 0.8)],
+}
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        root = parse(line_chart(SERIES, title="t"))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        root = parse(line_chart(SERIES))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == len(SERIES)
+
+    def test_legend_labels_present(self):
+        svg = line_chart(SERIES)
+        for name in SERIES:
+            assert name in svg
+
+    def test_title_and_axis_labels(self):
+        svg = line_chart(SERIES, title="My chart", x_label="budget",
+                         y_label="coverage")
+        assert "My chart" in svg
+        assert "budget" in svg
+        assert "coverage" in svg
+
+    def test_percent_ticks(self):
+        svg = line_chart(SERIES)
+        assert "100%" in svg and "0%" in svg
+
+    def test_plain_numeric_ticks(self):
+        svg = line_chart(SERIES, percent_y=False, y_range=(0, 4))
+        assert "100%" not in svg
+        assert ">4<" in svg
+
+    def test_autoscaled_y(self):
+        svg = line_chart({"a": [(0, 10.0), (1, 30.0)]}, y_range=None,
+                         percent_y=False)
+        assert ">30<" in svg
+
+    def test_markup_escaped(self):
+        svg = line_chart({"<evil>": [(0, 0.5)]}, title="a < b")
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+        parse(svg)  # still valid XML
+
+    def test_series_colors_cycle(self):
+        many = {f"s{i}": [(0, 0.1), (1, 0.2)] for i in range(10)}
+        svg = line_chart(many)
+        assert PALETTE[0] in svg and PALETTE[1] in svg
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_single_x_value_does_not_divide_by_zero(self):
+        svg = line_chart({"a": [(5, 0.5)]})
+        parse(svg)
+
+
+class TestFigureScript:
+    def test_generates_all_figures(self, tmp_path):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "generate_figures",
+            Path(__file__).resolve().parent.parent
+            / "scripts" / "generate_figures.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        written = module.generate(scale=0.15, out_dir=tmp_path)
+        names = {p.name for p in written}
+        assert "figure2a_endpoints.svg" in names
+        assert "figure2b_cover.svg" in names
+        assert any(n.startswith("figure1_") for n in names)
+        assert any(n.startswith("figure3_") for n in names)
+        for path in written:
+            ET.parse(path)  # every file is valid XML
