@@ -34,27 +34,39 @@ from repro.graph.dynamic import TemporalGraph
 from repro.selection import available_selectors, get_selector
 
 
+class CLIError(Exception):
+    """A user-input problem (bad path, unknown name, malformed flag).
+
+    Rendered by :func:`main` as a one-line ``error: ...`` message with
+    exit code 2; internal failures keep their traceback and exit code 1.
+    """
+
+
 def _load_input(source: str, scale: float, seed: Optional[int]) -> TemporalGraph:
     """A catalog name or an edge-list path -> TemporalGraph."""
     if source.lower() in catalog.DATASETS:
         return catalog.load(source, scale=scale, seed=seed)
     path = Path(source)
     if not path.exists():
-        raise SystemExit(
-            f"error: {source!r} is neither a catalog dataset "
+        raise CLIError(
+            f"{source!r} is neither a catalog dataset "
             f"({', '.join(catalog.dataset_names())}) nor an existing file"
         )
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line and not line.startswith("#"):
-                first_data = line
-                break
-        else:
-            raise SystemExit(f"error: {source!r} contains no edges")
-    if len(first_data.split("\t")) >= 3:
-        return io.read_edge_stream(path)
-    return io.read_edge_list(path)
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    first_data = line
+                    break
+            else:
+                raise CLIError(f"{source!r} contains no edges")
+        if len(first_data.split("\t")) >= 3:
+            return io.read_edge_stream(path)
+        return io.read_edge_list(path)
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        # Unreadable or malformed input is the user's to fix, not a bug.
+        raise CLIError(f"cannot read {source!r}: {exc}") from exc
 
 
 def _snapshots(temporal: TemporalGraph, split: float):
@@ -153,7 +165,7 @@ def _build_cli_selector(args):
             return get_selector(args.selector)
     except KeyError as exc:
         # get_selector's message lists the known names.
-        raise SystemExit(f"error: {exc.args[0]}") from None
+        raise CLIError(exc.args[0]) from None
 
 
 def cmd_topk(args) -> int:
@@ -174,11 +186,46 @@ def cmd_topk(args) -> int:
     return 0
 
 
+def _parse_checkpoints(spec: str) -> list:
+    """``"0.5,0.75,1.0"`` -> fractions; malformed input is a CLIError."""
+    try:
+        checkpoints = [float(c) for c in spec.split(",") if c.strip()]
+    except ValueError as exc:
+        raise CLIError(f"bad --checkpoints list {spec!r}: {exc}") from None
+    if len(checkpoints) < 2:
+        raise CLIError(
+            f"--checkpoints needs at least two fractions, got {spec!r}"
+        )
+    return checkpoints
+
+
+def _retry_policy(args, seed: int):
+    from repro.resilience import RetryPolicy
+
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise CLIError(
+            f"--deadline-s must be positive, got {args.deadline_s:g}"
+        )
+    if args.max_retries <= 0:
+        return None
+    return RetryPolicy(max_retries=args.max_retries, seed=seed)
+
+
+def _checkpoint_store(args):
+    from repro.resilience import CheckpointStore
+
+    if args.checkpoint_dir is None:
+        if args.resume:
+            raise CLIError("--resume requires --checkpoint-dir")
+        return None
+    return CheckpointStore(args.checkpoint_dir)
+
+
 def cmd_monitor(args) -> int:
     from repro.core.monitoring import ConvergenceMonitor
 
     temporal = _load_input(args.input, args.scale, args.seed)
-    checkpoints = [float(c) for c in args.checkpoints.split(",")]
+    checkpoints = _parse_checkpoints(args.checkpoints)
 
     def selector_factory():
         return get_selector(args.selector)
@@ -189,19 +236,36 @@ def cmd_monitor(args) -> int:
         k=args.k,
         m=args.m,
         seed=args.seed or 0,
+        retry_policy=_retry_policy(args, args.seed or 0),
+        deadline_s=args.deadline_s,
+        on_error=args.on_error,
+        checkpoint_store=_checkpoint_store(args),
+        resume=args.resume,
     )
-    for report in monitor.run(checkpoints):
+    try:
+        reports = monitor.run(checkpoints)
+    except ValueError as exc:
+        # Out-of-range / non-increasing fractions are user input errors.
+        raise CLIError(str(exc)) from None
+    for report in reports:
         window = f"{report.start_fraction:g} -> {report.end_fraction:g}"
+        if not report.ok:
+            print(f"window {window}: FAILED — {report.error}")
+            continue
         best = report.pairs[0] if report.pairs else None
         headline = (
             f"best {best.pair} (Δ={best.delta:g})" if best else "no change"
         )
+        resumed = " [resumed]" if report.resumed else ""
         print(
             f"window {window}: {len(report.pairs)} pairs, "
-            f"{report.sp_spent} SSSPs — {headline}"
+            f"{report.sp_spent} SSSPs — {headline}{resumed}"
         )
     movers = monitor.recurrent_nodes(min_windows=2)
     print(f"total SSSPs: {monitor.total_sp_spent()}")
+    failed = monitor.failed_windows()
+    if failed:
+        print(f"failed windows: {len(failed)} (summaries are partial)")
     print(
         "recurrently converging nodes: "
         + (", ".join(str(u) for u in movers[:10]) if movers else "none")
@@ -228,12 +292,41 @@ def cmd_experiment(args) -> int:
         "figure2": figure2, "figure3": figure3,
     }
     if args.name not in modules:
-        raise SystemExit(
-            f"error: unknown experiment {args.name!r}; "
+        raise CLIError(
+            f"unknown experiment {args.name!r}; "
             f"choose from {', '.join(modules)}"
         )
     module = modules[args.name]
-    config = ExperimentConfig(scale=args.scale)
+    overrides = {}
+    if args.datasets is not None:
+        from repro.datasets import catalog as _catalog
+
+        names = [d.strip() for d in args.datasets.split(",") if d.strip()]
+        unknown = [d for d in names if d not in _catalog.DATASETS]
+        if unknown or not names:
+            raise CLIError(
+                f"unknown dataset(s) {', '.join(unknown) or args.datasets!r}; "
+                f"choose from {', '.join(_catalog.dataset_names())}"
+            )
+        overrides["datasets"] = tuple(names)
+    if args.checkpoint_dir is None and args.resume:
+        raise CLIError("--resume requires --checkpoint-dir")
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise CLIError(
+            f"--deadline-s must be positive, got {args.deadline_s:g}"
+        )
+    config = ExperimentConfig(
+        scale=args.scale,
+        checkpoint_dir=(
+            str(args.checkpoint_dir) if args.checkpoint_dir else None
+        ),
+        resume=args.resume,
+        max_retries=args.max_retries,
+        deadline_s=args.deadline_s,
+        on_error=args.on_error,
+        experiment=args.name,
+        **overrides,
+    )
     result = module.run(config)
     print(module.render(result))
     if args.json is not None:
@@ -257,6 +350,26 @@ def _add_input_options(sub, with_split=True) -> None:
         sub.add_argument("--split", type=float, default=EVAL_SPLIT[0],
                          help="fraction of the stream forming G_t1 "
                               "(default 0.8)")
+
+
+def _add_resilience_options(sub) -> None:
+    """The long-run recovery flags shared by `experiment` and `monitor`."""
+    sub.add_argument("--checkpoint-dir", type=Path, default=None,
+                     help="persist each completed unit of work here "
+                          "(atomic JSON records; see docs/resilience.md)")
+    sub.add_argument("--resume", action="store_true",
+                     help="reuse valid checkpoints from --checkpoint-dir "
+                          "instead of recomputing completed units")
+    sub.add_argument("--max-retries", type=int, default=0,
+                     help="retries per unit (exponential backoff) before "
+                          "the failure escalates (default 0)")
+    sub.add_argument("--deadline-s", type=float, default=None,
+                     help="per-unit deadline in seconds, checked between "
+                          "retry attempts")
+    sub.add_argument("--on-error", choices=("fail", "skip"), default="fail",
+                     help="'fail' aborts on a unit failure; 'skip' records "
+                          "it (cell rendered as —, window marked FAILED) "
+                          "and continues")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -327,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--selector", default="SumDiff")
     mon.add_argument("--k", type=int, default=15)
     mon.add_argument("--m", type=int, default=20)
+    _add_resilience_options(mon)
     mon.set_defaults(func=cmd_monitor)
 
     exp = subs.add_parser("experiment", help="run one paper artefact")
@@ -334,16 +448,29 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", type=float, default=0.5)
     exp.add_argument("--json", type=Path, default=None,
                      help="also write the raw result as JSON")
+    exp.add_argument("--datasets", default=None,
+                     help="comma-separated catalog subset to run "
+                          "(default: all four)")
+    _add_resilience_options(exp)
     exp.set_defaults(func=cmd_experiment)
 
     return parser
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User-input problems (:class:`CLIError`) print one ``error:`` line
+    and return 2; internal failures propagate with their traceback
+    (exit code 1 when run as a script), so bugs stay loud.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,11 +26,19 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 from repro.core.algorithm import TopKResult, find_top_k_converging_pairs
+from repro.core.budget import SPBudget
 from repro.core.pairs import ConvergingPair
 from repro.graph.dynamic import TemporalGraph
+from repro.resilience import (
+    CheckpointStore,
+    Deadline,
+    RetryPolicy,
+    log_event,
+    run_guarded,
+)
 from repro.selection.base import CandidateSelector
 
 Node = Hashable
@@ -46,22 +54,74 @@ class WindowReport:
         The stream fractions whose snapshots bound this window.
     result:
         The full :class:`~repro.core.algorithm.TopKResult` of the
-        budgeted run (pairs, candidates, audited budget).
+        budgeted run (pairs, candidates, audited budget) — ``None``
+        when the window failed.
+    error:
+        ``None`` on success; otherwise the one-line ``Type: message``
+        description of the failure that was absorbed under
+        ``on_error="skip"``.
+    resumed:
+        Whether this report was restored from a checkpoint instead of
+        recomputed.
     """
 
     start_fraction: float
     end_fraction: float
-    result: TopKResult
+    result: Optional[TopKResult] = None
+    error: Optional[str] = None
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the window's budgeted run completed."""
+        return self.error is None
 
     @property
     def pairs(self) -> List[ConvergingPair]:
-        """The converging pairs found in this window."""
-        return self.result.pairs
+        """The converging pairs found in this window ([] on failure)."""
+        return [] if self.result is None else self.result.pairs
 
     @property
     def sp_spent(self) -> int:
-        """SSSP computations this window consumed."""
-        return self.result.budget.spent
+        """SSSP computations this window consumed (0 on failure)."""
+        return 0 if self.result is None else self.result.budget.spent
+
+    # ------------------------------------------------------------------
+    # Checkpoint (de)serialisation — plain JSON-able payloads.
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable form of a *successful* report."""
+        assert self.result is not None
+        return {
+            "pairs": [[p.u, p.v, p.d1, p.d2] for p in self.result.pairs],
+            "candidates": list(self.result.candidates),
+            "limit": self.result.budget.limit,
+            "ledger": [
+                [rec.phase, rec.snapshot, rec.count]
+                for rec in self.result.budget.ledger()
+            ],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, start: float, end: float, payload: Dict[str, Any]
+    ) -> "WindowReport":
+        """Rebuild a report (including its audited budget) from a payload."""
+        budget = SPBudget(payload["limit"])
+        for phase, snapshot, count in payload["ledger"]:
+            budget.charge(phase, snapshot, count)
+        result = TopKResult(
+            pairs=[
+                ConvergingPair(u, v, d1, d2)
+                for u, v, d1, d2 in payload["pairs"]
+            ],
+            candidates=list(payload["candidates"]),
+            budget=budget,
+        )
+        return cls(
+            start_fraction=start, end_fraction=end, result=result,
+            resumed=True,
+        )
 
 
 class ConvergenceMonitor:
@@ -82,6 +142,26 @@ class ConvergenceMonitor:
     seed:
         Base seed; window ``i`` uses ``seed + i`` so windows are
         independent but the whole run is reproducible.
+    retry_policy:
+        Optional :class:`~repro.resilience.policy.RetryPolicy` re-running
+        a transiently failing window before it escalates.
+    deadline_s:
+        Per-window deadline in seconds (checked between retry attempts);
+        ``None`` disables it.
+    on_error:
+        ``"fail"`` (default) propagates a window failure; ``"skip"``
+        records it on the report's ``error`` field and continues with
+        the remaining windows.
+    checkpoint_store:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointStore`;
+        completed windows are persisted and :meth:`run` restores them
+        instead of re-spending their SSSP budget.  Use a distinct
+        directory per (stream, selector) job — the key covers the
+        window bounds and (k, m, seed), not the input identity.
+    resume:
+        Whether :meth:`run` may *read* existing checkpoints (writing
+        happens whenever a store is configured).  The CLI maps its
+        ``--resume`` flag here.
     """
 
     def __init__(
@@ -91,47 +171,105 @@ class ConvergenceMonitor:
         k: int = 20,
         m: int = 20,
         seed: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
+        on_error: str = "fail",
+        checkpoint_store: Optional[CheckpointStore] = None,
+        resume: bool = True,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if m < 1:
             raise ValueError(f"m must be >= 1, got {m}")
+        if on_error not in ("fail", "skip"):
+            raise ValueError(
+                f"on_error must be 'fail' or 'skip', got {on_error!r}"
+            )
         self.temporal = temporal
         self.selector_factory = selector_factory
         self.k = k
         self.m = m
         self.seed = seed
+        self.retry_policy = retry_policy
+        self.deadline_s = deadline_s
+        self.on_error = on_error
+        self.checkpoint_store = checkpoint_store
+        self.resume = resume
         self._reports: List[WindowReport] = []
+
+    def _window_key(self, f1: float, f2: float, seed: int) -> list:
+        return ["monitor", f1, f2, self.k, self.m, seed]
 
     def run(self, checkpoints: Sequence[float]) -> List[WindowReport]:
         """Detect converging pairs in every consecutive checkpoint window.
 
-        ``checkpoints`` are stream fractions in strictly increasing
-        order; ``len(checkpoints) - 1`` windows are produced.  Reports
-        accumulate on the monitor (and are returned) so summaries can
-        span multiple ``run`` calls.
+        ``checkpoints`` are stream fractions in ``(0, 1]`` in strictly
+        increasing order; ``len(checkpoints) - 1`` windows are produced.
+        Reports accumulate on the monitor (and are returned) so
+        summaries can span multiple ``run`` calls.
+
+        With a ``checkpoint_store``, each completed window is persisted
+        and a rerun after a crash restores it — pairs, candidates, and
+        audited budget — without re-spending its ``2m`` SSSPs.
         """
         if len(checkpoints) < 2:
             raise ValueError("need at least two checkpoints to form a window")
+        bad = [c for c in checkpoints if not 0.0 < c <= 1.0]
+        if bad:
+            raise ValueError(
+                f"checkpoint fractions must be in (0, 1], got {bad}"
+            )
         if any(b <= a for a, b in zip(checkpoints, checkpoints[1:])):
             raise ValueError(f"checkpoints must increase: {checkpoints}")
         reports: List[WindowReport] = []
         for i, (f1, f2) in enumerate(zip(checkpoints, checkpoints[1:])):
+            reports.append(
+                self._run_window(f1, f2, self.seed + len(self._reports) + i)
+            )
+        self._reports.extend(reports)
+        return reports
+
+    def _run_window(self, f1: float, f2: float, seed: int) -> WindowReport:
+        """One window under the full resilience stack."""
+        unit = f"window:{f1:g}->{f2:g}"
+        key = self._window_key(f1, f2, seed)
+        if self.checkpoint_store is not None and self.resume:
+            payload = self.checkpoint_store.get(key)
+            if payload is not None:
+                log_event("checkpoint.hit", unit=unit)
+                return WindowReport.from_payload(f1, f2, payload)
+
+        def compute() -> TopKResult:
             g1, g2 = self.temporal.snapshot_pair(f1, f2)
-            result = find_top_k_converging_pairs(
+            return find_top_k_converging_pairs(
                 g1,
                 g2,
                 k=self.k,
                 m=self.m,
                 selector=self.selector_factory(),
-                seed=self.seed + len(self._reports) + i,
+                seed=seed,
                 validate=False,  # snapshots of one stream are valid by construction
             )
-            reports.append(
-                WindowReport(start_fraction=f1, end_fraction=f2, result=result)
+
+        deadline = (
+            Deadline(self.deadline_s) if self.deadline_s is not None else None
+        )
+        result, error = run_guarded(
+            compute,
+            unit=unit,
+            retry_policy=self.retry_policy,
+            deadline=deadline,
+            on_error=self.on_error,
+        )
+        if error is not None:
+            log_event("window.failed", unit=unit, error=error)
+            return WindowReport(
+                start_fraction=f1, end_fraction=f2, error=error
             )
-        self._reports.extend(reports)
-        return reports
+        report = WindowReport(start_fraction=f1, end_fraction=f2, result=result)
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.put(key, report.to_payload())
+        return report
 
     @property
     def reports(self) -> List[WindowReport]:
@@ -141,6 +279,15 @@ class ConvergenceMonitor:
     def total_sp_spent(self) -> int:
         """SSSP computations across all windows (``<= 2m * windows``)."""
         return sum(r.sp_spent for r in self._reports)
+
+    def failed_windows(self) -> List[WindowReport]:
+        """Windows whose budgeted run failed (``on_error="skip"`` only).
+
+        The complement of the windows :meth:`recurrent_nodes` and
+        :meth:`pair_timeline` summarise — a non-empty return means the
+        summaries are computed over partial data.
+        """
+        return [r for r in self._reports if not r.ok]
 
     def recurrent_nodes(self, min_windows: int = 2) -> List[Node]:
         """Nodes appearing in converging pairs of >= ``min_windows`` windows.

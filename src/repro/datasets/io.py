@@ -15,12 +15,31 @@ Two formats:
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.graph.dynamic import TemporalGraph
+from repro.resilience import log_event
 
 PathLike = Union[str, Path]
+
+
+@dataclass
+class ReadStats:
+    """Counters from one :func:`read_edge_stream` pass.
+
+    Pass an instance via the ``stats`` parameter to observe how many
+    lines were parsed and — under ``errors="skip"`` — how many malformed
+    lines were dropped (``first_error`` keeps the first one's message
+    for diagnostics).
+    """
+
+    lines: int = 0
+    parsed: int = 0
+    skipped: int = 0
+    first_error: Optional[str] = None
 
 
 def write_edge_stream(temporal: TemporalGraph, path: PathLike) -> None:
@@ -40,30 +59,73 @@ def _parse_number(token: str) -> Union[int, float]:
         return float(token)
 
 
-def read_edge_stream(path: PathLike) -> TemporalGraph:
+def read_edge_stream(
+    path: PathLike,
+    errors: str = "strict",
+    stats: Optional[ReadStats] = None,
+) -> TemporalGraph:
     """Read a timestamped TSV edge stream written by :func:`write_edge_stream`.
 
     Node ids that parse as integers are loaded as integers; everything
-    else is kept as a string.
+    else is kept as a string.  CRLF line endings and a final line with
+    no trailing newline are tolerated — real exports routinely have
+    both.
+
+    Parameters
+    ----------
+    errors:
+        ``"strict"`` (default) raises :class:`ValueError` with the
+        ``path:lineno`` of the first malformed line; ``"skip"`` drops
+        malformed lines, then emits **one** counted warning (and an
+        ``io.skipped_lines`` resilience event) for the whole file.
+    stats:
+        Optional :class:`ReadStats` collecting line/parsed/skipped
+        counts for the caller.
     """
+    if errors not in ("strict", "skip"):
+        raise ValueError(f"errors must be 'strict' or 'skip', got {errors!r}")
     path = Path(path)
+    stats = stats if stats is not None else ReadStats()
     temporal = TemporalGraph()
     with path.open("r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
+            # strip() removes the trailing \n / \r\n (the last line may
+            # have neither) plus incidental surrounding whitespace.
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            parts = line.split("\t")
-            if len(parts) not in (3, 4):
-                raise ValueError(
-                    f"{path}:{lineno}: expected 3 or 4 tab-separated fields, "
-                    f"got {len(parts)}"
-                )
-            time = float(parts[0])
-            u = _parse_node(parts[1])
-            v = _parse_node(parts[2])
-            weight = float(parts[3]) if len(parts) == 4 else 1.0
+            stats.lines += 1
+            try:
+                parts = line.split("\t")
+                if len(parts) not in (3, 4):
+                    raise ValueError(
+                        f"expected 3 or 4 tab-separated fields, "
+                        f"got {len(parts)}"
+                    )
+                time = float(parts[0])
+                u = _parse_node(parts[1])
+                v = _parse_node(parts[2])
+                weight = float(parts[3]) if len(parts) == 4 else 1.0
+            except ValueError as exc:
+                located = f"{path}:{lineno}: {exc}"
+                if errors == "strict":
+                    raise ValueError(located) from None
+                stats.skipped += 1
+                if stats.first_error is None:
+                    stats.first_error = located
+                continue
             temporal.add_edge(time, u, v, weight)
+            stats.parsed += 1
+    if stats.skipped:
+        log_event(
+            "io.skipped_lines", path=str(path), skipped=stats.skipped,
+            parsed=stats.parsed,
+        )
+        warnings.warn(
+            f"{path}: skipped {stats.skipped} malformed line(s) "
+            f"(first: {stats.first_error})",
+            stacklevel=2,
+        )
     return temporal
 
 

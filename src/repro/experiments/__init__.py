@@ -40,6 +40,7 @@ from repro.experiments.runner import (
     clear_context_cache,
     coverage_cell,
     get_context,
+    topk_run_count,
 )
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "clear_context_cache",
     "coverage_cell",
     "get_context",
+    "topk_run_count",
     "result_to_dict",
     "write_json",
 ]

@@ -23,7 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.algorithm import find_top_k_converging_pairs
 from repro.core.evaluation import candidate_pair_coverage
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.report import format_table, percent
+from repro.experiments.report import format_table, percent, percent_label
 from repro.experiments.runner import coverage_cell, get_context
 from repro.selection import get_selector
 
@@ -122,7 +122,7 @@ def render_landmark_seeding(result: SeedingResult) -> str:
         "seeding policy"
     ]
     for label, curve in result.curves.items():
-        points = ", ".join(f"m={m}: {percent(c)}%" for m, c in curve)
+        points = ", ".join(f"m={m}: {percent_label(c)}" for m, c in curve)
         lines.append(f"  {label:8s} {points}")
     return "\n".join(lines)
 

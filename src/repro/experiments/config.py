@@ -47,6 +47,27 @@ class ExperimentConfig:
     #: selectors only; deterministic ones run once).
     repeats: int = 3
 
+    # -- resilience (see repro.resilience and docs/resilience.md) -------
+    #: Directory for per-cell checkpoints; ``None`` disables persistence.
+    checkpoint_dir: Optional[str] = None
+    #: Reuse valid checkpointed cells instead of recomputing them.
+    resume: bool = False
+    #: Retries per coverage cell before the failure escalates.
+    max_retries: int = 0
+    #: Backoff base delay between cell retries, seconds.  0 (the
+    #: default) retries immediately — deterministic and sleep-free.
+    retry_backoff_s: float = 0.0
+    #: Per-cell deadline in seconds (checked between attempts); ``None``
+    #: disables it.
+    deadline_s: Optional[float] = None
+    #: ``"fail"`` aborts the sweep on a cell failure (the exception
+    #: propagates); ``"skip"`` records the cell as NaN (rendered ``—``)
+    #: and continues.
+    on_error: str = "fail"
+    #: Label naming the running experiment in checkpoint keys and logs
+    #: (set by the CLI; cells of different experiments never collide).
+    experiment: str = ""
+
 
 def default_config() -> ExperimentConfig:
     """The full-fidelity configuration used for EXPERIMENTS.md."""

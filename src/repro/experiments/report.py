@@ -61,13 +61,27 @@ def _is_numeric(cell: str) -> bool:
 
 
 def percent(value: float) -> str:
-    """Coverage fraction → the paper's one-decimal percent string."""
+    """Coverage fraction → the paper's one-decimal percent string.
+
+    NaN marks a cell whose computation failed under ``on_error="skip"``
+    (see :mod:`repro.resilience.degrade`); it renders as ``—`` so a
+    degraded table is visibly partial rather than silently wrong.
+    """
+    if value != value:  # NaN — failed cell
+        return "—"
     return f"{100.0 * value:.1f}"
+
+
+def percent_label(value: float) -> str:
+    """:func:`percent` with the ``%`` sign — left off a failed (``—``) cell."""
+    if value != value:
+        return "—"
+    return f"{percent(value)}%"
 
 
 def curve_block(
     name: str, curve: Sequence[Tuple[int, float]], indent: str = "  "
 ) -> str:
     """One cost–coverage series rendered as ``m -> coverage%`` pairs."""
-    points = ", ".join(f"m={m}: {percent(cov)}%" for m, cov in curve)
+    points = ", ".join(f"m={m}: {percent_label(cov)}" for m, cov in curve)
     return f"{indent}{name:14s} {points}"

@@ -34,6 +34,13 @@ from repro.ml.training import (
     train_global_classifier,
     train_local_classifier,
 )
+from repro.resilience import (
+    CheckpointStore,
+    Deadline,
+    RetryPolicy,
+    log_event,
+    run_guarded,
+)
 from repro.selection import get_selector
 from repro.selection.base import CandidateSelector
 
@@ -144,8 +151,11 @@ def get_context(name: str, scale: float) -> DatasetContext:
 
 def clear_context_cache() -> None:
     """Drop all cached dataset contexts (tests use this for isolation)."""
+    global _TOPK_RUNS
     _CONTEXT_CACHE.clear()
     _CANDIDATE_CACHE.clear()
+    _STORE_CACHE.clear()
+    _TOPK_RUNS = 0
     _trained_local.cache_clear()
     _trained_global.cache_clear()
 
@@ -231,6 +241,46 @@ def _is_randomised(selector_name: str) -> bool:
 
 _CANDIDATE_CACHE: Dict[Tuple, List[List]] = {}
 
+#: Budgeted Algorithm 1 runs since the last cache clear — the audited
+#: "expensive unit" counter the resume tests assert on.
+_TOPK_RUNS = 0
+
+_STORE_CACHE: Dict[str, CheckpointStore] = {}
+
+_MISS = object()
+
+
+def topk_run_count() -> int:
+    """Budgeted top-k runs performed since :func:`clear_context_cache`."""
+    return _TOPK_RUNS
+
+
+def _checkpoint_store(config: ExperimentConfig) -> Optional[CheckpointStore]:
+    """The config's cell-checkpoint store (one per directory), if any."""
+    if not config.checkpoint_dir:
+        return None
+    directory = str(config.checkpoint_dir)
+    if directory not in _STORE_CACHE:
+        _STORE_CACHE[directory] = CheckpointStore(directory)
+    return _STORE_CACHE[directory]
+
+
+def _cell_key(
+    context: DatasetContext, selector_name: str, m: int, delta: float,
+    config: ExperimentConfig,
+) -> list:
+    """Checkpoint identity of one coverage cell.
+
+    Keyed by everything that influences the cell's value —
+    (experiment, dataset, scale, δ, selector) per the resume contract,
+    plus the knobs (m, l, pivots, seed, repeats) a config could vary.
+    """
+    return [
+        "cell", config.experiment, context.name, context.scale, delta,
+        selector_name.lower(), m, config.num_landmarks,
+        config.incbet_pivots, config.seed, config.repeats,
+    ]
+
 
 def candidate_sets(
     context: DatasetContext,
@@ -250,9 +300,11 @@ def candidate_sets(
         config.num_landmarks, config.incbet_pivots, config.seed, repeats,
     )
     if key not in _CANDIDATE_CACHE:
+        global _TOPK_RUNS
         runs: List[List] = []
         for r in range(repeats):
             selector = build_selector(selector_name, config, context)
+            _TOPK_RUNS += 1
             result = find_top_k_converging_pairs(
                 context.g1,
                 context.g2,
@@ -280,15 +332,64 @@ def coverage_cell(
     deterministic ones run once.  Coverage is evaluated directly on the
     candidate sets (provably equal to running Algorithm 1 end to end with
     the δ-threshold k — asserted by the integration tests).
+
+    The config's resilience knobs apply here, at the cell level — the
+    sweep's unit of expensive work:
+
+    * ``checkpoint_dir`` persists each completed cell;  with ``resume``
+      a valid checkpoint short-circuits the recomputation entirely (no
+      budgeted top-k runs, no ground-truth pass);
+    * ``max_retries`` / ``deadline_s`` re-run a transiently failing cell
+      under :class:`~repro.resilience.policy.RetryPolicy`;
+    * ``on_error="skip"`` converts a persistent failure into a NaN cell
+      (rendered ``—``) instead of aborting the sweep.
     """
-    truth = context.truth_at_offset(offset)
-    if truth.k == 0:
-        return 1.0
-    scores = [
-        candidate_pair_coverage(candidates, truth.pairs)
-        for candidates in candidate_sets(context, selector_name, m, config)
-    ]
-    return float(np.mean(scores))
+    delta = context.delta_for_offset(offset)
+    store = _checkpoint_store(config)
+    key = _cell_key(context, selector_name, m, delta, config)
+    unit = (
+        f"cell:{config.experiment or 'sweep'}:{context.name}"
+        f"/{selector_name}/m={m}/delta={delta:g}"
+    )
+    if store is not None and config.resume:
+        cached = store.get(key, default=_MISS)
+        if cached is not _MISS:
+            log_event("checkpoint.hit", unit=unit)
+            return float(cached)
+
+    def compute() -> float:
+        truth = context.truth_at_delta(delta)
+        if truth.k == 0:
+            return 1.0
+        scores = [
+            candidate_pair_coverage(candidates, truth.pairs)
+            for candidates in candidate_sets(context, selector_name, m, config)
+        ]
+        return float(np.mean(scores))
+
+    retry_policy = None
+    if config.max_retries > 0:
+        retry_policy = RetryPolicy(
+            max_retries=config.max_retries,
+            base_delay=config.retry_backoff_s,
+            seed=config.seed,
+        )
+    deadline = (
+        Deadline(config.deadline_s) if config.deadline_s is not None else None
+    )
+    value, error = run_guarded(
+        compute,
+        unit=unit,
+        retry_policy=retry_policy,
+        deadline=deadline,
+        on_error=config.on_error,
+    )
+    if error is not None:
+        return float("nan")
+    assert value is not None
+    if store is not None:
+        store.put(key, value)
+    return value
 
 
 def budget_sweep(

@@ -1,0 +1,60 @@
+"""Resilient execution layer: retries, deadlines, checkpoints, faults.
+
+Long sweeps and monitoring runs are sequences of SSSP-budgeted units —
+the paper's expensive resource.  This package makes those sequences
+survive the real world:
+
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy` (exponential
+  backoff, seeded jitter, deterministic) and per-unit :class:`Deadline`,
+  with typed :class:`RetriesExhausted` / :class:`BudgetRunTimeout`;
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointStore`, an
+  atomic (write-temp-fsync-rename), checksummed, schema-versioned JSON
+  store so crashed runs resume instead of restarting;
+* :mod:`repro.resilience.faults` — :class:`FaultPlan` /
+  :class:`FaultInjector`, deterministic failure schedules for tests and
+  chaos runs;
+* :mod:`repro.resilience.degrade` — :func:`run_guarded`, the one place
+  a unit's failure is retried, deadline-bounded, and (optionally)
+  absorbed into a recorded error;
+* :mod:`repro.resilience.events` — :func:`log_event`, the structured
+  logging chokepoint every retry/skip/resume/fault event goes through.
+
+See ``docs/resilience.md`` for the checkpoint format and CLI flags.
+"""
+
+from repro.resilience.checkpoint import SCHEMA_VERSION, CheckpointStore, restore_list
+from repro.resilience.degrade import (
+    ON_ERROR_MODES,
+    check_on_error,
+    describe_error,
+    run_guarded,
+)
+from repro.resilience.events import capture_events, log_event
+from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.resilience.policy import (
+    BudgetRunTimeout,
+    Deadline,
+    ResilienceError,
+    RetriesExhausted,
+    RetryPolicy,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointStore",
+    "restore_list",
+    "ON_ERROR_MODES",
+    "check_on_error",
+    "describe_error",
+    "run_guarded",
+    "capture_events",
+    "log_event",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "BudgetRunTimeout",
+    "Deadline",
+    "ResilienceError",
+    "RetriesExhausted",
+    "RetryPolicy",
+]

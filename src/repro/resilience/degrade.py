@@ -1,0 +1,76 @@
+"""Graceful degradation: run a unit, absorb its failure, keep going.
+
+:func:`run_guarded` is the one place where the execution layer decides
+what a failure *means*: retried first (per the :class:`RetryPolicy`),
+bounded by a per-unit :class:`Deadline`, and then — under
+``on_error="skip"`` — converted into a recorded error string instead of
+an exception, so a sweep renders the failed cell as ``—`` and a monitor
+records the failed window and moves on.  ``on_error="fail"`` preserves
+fail-fast semantics for callers who want the traceback.
+
+``KeyboardInterrupt``/``SystemExit`` are never absorbed: a user killing
+a run is not a fault to degrade around (it is what checkpoints are for).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, TypeVar
+
+from repro.resilience.events import log_event
+from repro.resilience.policy import Deadline, RetryPolicy
+
+T = TypeVar("T")
+
+ON_ERROR_MODES = ("fail", "skip")
+
+
+def check_on_error(on_error: str) -> str:
+    """Validate an ``on_error`` mode string (returns it for chaining)."""
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
+    return on_error
+
+
+def describe_error(exc: BaseException) -> str:
+    """The one-line ``Type: message`` form errors are recorded in."""
+    message = str(exc)
+    name = type(exc).__name__
+    return f"{name}: {message}" if message else name
+
+
+def run_guarded(
+    fn: Callable[[], T],
+    *,
+    unit: str,
+    retry_policy: Optional[RetryPolicy] = None,
+    deadline: Optional[Deadline] = None,
+    on_error: str = "fail",
+    sleep: Optional[Callable[[float], None]] = None,
+) -> Tuple[Optional[T], Optional[str]]:
+    """Run one unit of work under the full resilience stack.
+
+    Returns ``(value, None)`` on success.  On failure after retries:
+    with ``on_error="skip"`` returns ``(None, "Type: message")`` and
+    logs a ``skip`` event; with ``on_error="fail"`` re-raises.
+    """
+    check_on_error(on_error)
+    try:
+        if retry_policy is not None and retry_policy.max_retries > 0:
+            value = retry_policy.call(
+                fn, unit=unit, deadline=deadline, sleep=sleep
+            )
+        else:
+            if deadline is not None:
+                deadline.check(unit)
+            value = fn()
+        return value, None
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        if on_error == "skip":
+            error = describe_error(exc)
+            log_event("skip", unit=unit, error=type(exc).__name__)
+            return None, error
+        raise

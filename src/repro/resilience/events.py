@@ -1,0 +1,63 @@
+"""Structured logging for resilience events.
+
+Every retry, skip, timeout, checkpoint hit, and fault injection in the
+execution layer is reported through :func:`log_event`, so a long run's
+recovery behaviour is auditable from one place — grep the
+``repro.resilience`` logger (or subscribe in-process) instead of
+scattering ad-hoc prints through the runner and monitor.
+
+Events are ``(kind, fields)`` pairs; the log line renders the fields as
+sorted ``key=value`` tokens, so lines are stable and machine-greppable::
+
+    retry attempt=1 delay=0.1 error=InjectedFault unit=cell:facebook/MMSD
+
+Tests (and dashboards) can observe events without touching the logging
+module via :func:`capture_events`.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Tuple
+
+logger = logging.getLogger("repro.resilience")
+
+Event = Tuple[str, Dict[str, object]]
+
+_subscribers: List[Callable[[str, Dict[str, object]], None]] = []
+
+
+def log_event(kind: str, **fields: object) -> None:
+    """Report one resilience event (a retry, skip, resume, fault, ...).
+
+    ``kind`` is a dotted lowercase label (``"retry"``,
+    ``"checkpoint.hit"``, ``"window.failed"``); ``fields`` carry the
+    event's context.  The event is written to the ``repro.resilience``
+    logger and fanned out to any in-process subscribers.
+    """
+    rendered = " ".join(f"{k}={fields[k]}" for k in sorted(fields))
+    logger.info("%s %s", kind, rendered)
+    for subscriber in list(_subscribers):
+        subscriber(kind, dict(fields))
+
+
+@contextmanager
+def capture_events() -> Iterator[List[Event]]:
+    """Collect every :func:`log_event` call made inside the block.
+
+    >>> with capture_events() as events:
+    ...     log_event("retry", unit="demo", attempt=1)
+    >>> events[0][0]
+    'retry'
+    """
+    captured: List[Event] = []
+
+    def subscriber(kind: str, fields: Dict[str, object]) -> None:
+        captured.append((kind, fields))
+
+    _subscribers.append(subscriber)
+    try:
+        yield captured
+    finally:
+        _subscribers.remove(subscriber)

@@ -1,0 +1,126 @@
+"""Deterministic fault injection for tests and chaos runs.
+
+Retry, skip, and resume logic is only trustworthy if it is exercised
+against real failures — but failures in CI must be *reproducible*.
+:class:`FaultPlan` describes a failure schedule as pure data (fail the
+Nth call, fail at a seeded rate, spike latency), and
+:class:`FaultInjector` applies it to any callable: a candidate selector,
+an SSSP routine, an IO read.  Two injectors built from the same plan
+make identical decisions call for call.
+
+Typical test usage::
+
+    plan = FaultPlan(fail_nth=(3,))
+    injector = FaultInjector(plan)
+    flaky_selector = injector.wrap(make_selector, unit="selector")
+
+Chaos runs use ``fail_rate`` with a seed; the injected exception type is
+:class:`InjectedFault` (a ``RuntimeError``) so production code cannot
+accidentally special-case it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+from repro.resilience.events import log_event
+
+T = TypeVar("T")
+
+
+class InjectedFault(RuntimeError):
+    """The failure raised by a fault injector (never by real code)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible failure schedule.
+
+    Attributes
+    ----------
+    fail_nth:
+        1-based call indices that fail (counted across the injector's
+        lifetime, not per wrapped callable).
+    fail_rate:
+        Probability in ``[0, 1]`` that any other call fails, drawn from
+        ``random.Random(seed)`` — one draw per call, so the decision
+        sequence is deterministic.
+    latency_s:
+        Seconds of latency added to calls listed in ``latency_nth`` (or
+        to every call when ``latency_nth`` is empty and ``latency_s`` is
+        positive).  Injected through a ``sleep`` hook so tests measure
+        rather than wait.
+    latency_nth:
+        1-based call indices receiving the latency spike.
+    seed:
+        Seed for the fail-rate draws.
+    """
+
+    fail_nth: Tuple[int, ...] = ()
+    fail_rate: float = 0.0
+    latency_s: float = 0.0
+    latency_nth: Tuple[int, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_rate <= 1.0:
+            raise ValueError(f"fail_rate must be in [0, 1], got {self.fail_rate}")
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if any(n < 1 for n in self.fail_nth) or any(n < 1 for n in self.latency_nth):
+            raise ValueError("call indices are 1-based and must be >= 1")
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to wrapped callables.
+
+    One injector holds one call counter and one RNG, shared across
+    everything it wraps — matching how a real fault (a flaky disk, a
+    throttled API) does not care which code path hit it.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.plan = plan
+        self.calls = 0
+        self.faults = 0
+        self._rng = random.Random(plan.seed)
+        self._sleep = time.sleep if sleep is None else sleep
+
+    def _should_fail(self, call_index: int) -> bool:
+        # The rate draw happens for every call (even fail_nth ones) so
+        # the decision sequence depends only on the call index.
+        rate_hit = self._rng.random() < self.plan.fail_rate
+        return call_index in self.plan.fail_nth or rate_hit
+
+    def check(self, unit: str = "call") -> None:
+        """Count one call and raise if the plan says this one fails."""
+        self.calls += 1
+        index = self.calls
+        spike = self.plan.latency_s > 0 and (
+            not self.plan.latency_nth or index in self.plan.latency_nth
+        )
+        if spike:
+            log_event("fault.latency", unit=unit, call=index,
+                      delay=self.plan.latency_s)
+            self._sleep(self.plan.latency_s)
+        if self._should_fail(index):
+            self.faults += 1
+            log_event("fault.injected", unit=unit, call=index)
+            raise InjectedFault(f"injected fault on call {index} of {unit!r}")
+
+    def wrap(self, fn: Callable[..., T], unit: str = "call") -> Callable[..., T]:
+        """A callable that runs the plan's check, then delegates to ``fn``."""
+
+        def wrapped(*args, **kwargs):
+            self.check(unit)
+            return fn(*args, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        return wrapped

@@ -1,0 +1,213 @@
+"""Retry and deadline policies for long-running execution units.
+
+The paper's cost model makes one budgeted top-k run the unit of work; a
+production sweep performs hundreds of them, and a single transient
+failure must not discard the completed ones.  :class:`RetryPolicy`
+re-runs a failed unit with exponential backoff plus seeded jitter — the
+whole delay sequence is a pure function of the policy, so tests assert
+it without sleeping — and :class:`Deadline` bounds how long one unit may
+keep trying.
+
+Both raise *typed* errors (:class:`RetriesExhausted`,
+:class:`BudgetRunTimeout`) so callers can distinguish "the unit is
+genuinely broken" from "the unit ran out of time" and degrade
+accordingly (see :mod:`repro.resilience.degrade`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type, TypeVar
+
+from repro.resilience.events import log_event
+
+T = TypeVar("T")
+
+
+class ResilienceError(RuntimeError):
+    """Base class for the execution layer's typed failures."""
+
+
+class BudgetRunTimeout(ResilienceError):
+    """A unit of work exceeded its deadline.
+
+    Attributes
+    ----------
+    unit:
+        Label of the unit that timed out (e.g. ``"cell:facebook/MMSD"``).
+    elapsed / limit:
+        Seconds spent vs. the deadline's allowance.
+    """
+
+    def __init__(self, unit: str, elapsed: float, limit: float) -> None:
+        super().__init__(
+            f"unit {unit!r} exceeded its {limit:g}s deadline "
+            f"(elapsed {elapsed:.3f}s)"
+        )
+        self.unit = unit
+        self.elapsed = elapsed
+        self.limit = limit
+
+
+class RetriesExhausted(ResilienceError):
+    """A unit of work failed on every allowed attempt.
+
+    The final underlying exception is chained as ``__cause__`` and kept
+    on :attr:`last_error`.
+    """
+
+    def __init__(self, unit: str, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"unit {unit!r} failed after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.unit = unit
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class Deadline:
+    """A per-unit time allowance measured on an injectable clock.
+
+    The deadline starts when the object is constructed.  Deadlines are
+    checked *cooperatively* — at unit boundaries and between retry
+    attempts — because one SSSP-budgeted run is atomic; the guarantee is
+    "no new attempt starts past the deadline", not pre-emption.
+
+    Parameters
+    ----------
+    seconds:
+        The allowance; ``None`` means unlimited (every check passes).
+    clock:
+        Monotonic time source; tests pass a fake to avoid wall-clock
+        dependence.
+    """
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return self._clock() - self._start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (may be negative); ``None`` when unlimited."""
+        if self.seconds is None:
+            return None
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        """Whether the allowance has run out."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def check(self, unit: str = "run") -> None:
+        """Raise :class:`BudgetRunTimeout` if the deadline has passed."""
+        if self.expired():
+            assert self.seconds is not None
+            log_event(
+                "deadline.expired",
+                unit=unit,
+                elapsed=round(self.elapsed(), 6),
+                limit=self.seconds,
+            )
+            raise BudgetRunTimeout(unit, self.elapsed(), self.seconds)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    The delay before retry ``i`` (1-based) is::
+
+        min(max_delay, base_delay * multiplier**(i-1)) * (1 + U_i)
+
+    where ``U_i ~ Uniform(0, jitter)`` comes from ``random.Random(seed)``
+    — the whole sequence is deterministic given the policy, so tests pin
+    it exactly without sleeping (pass a fake ``sleep`` to :meth:`call`).
+
+    ``max_retries`` counts *retries*, not attempts: a unit runs at most
+    ``max_retries + 1`` times.  ``base_delay=0`` (the experiment
+    runner's default) retries immediately — still deterministic, never
+    sleeping.
+    """
+
+    max_retries: int = 0
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic backoff sequence, one delay per retry."""
+        rng = random.Random(self.seed)
+        for i in range(self.max_retries):
+            base = min(self.max_delay, self.base_delay * self.multiplier**i)
+            yield base * (1.0 + rng.uniform(0.0, self.jitter))
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        unit: str = "call",
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        deadline: Optional[Deadline] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> T:
+        """Run ``fn`` under this policy.
+
+        Retries on exceptions matching ``retry_on`` (deadline timeouts
+        are never retried — they are the stop condition).  Raises
+        :class:`RetriesExhausted` once the attempts are spent, chaining
+        the last underlying error, or :class:`BudgetRunTimeout` when the
+        deadline expires between attempts.
+        """
+        do_sleep = time.sleep if sleep is None else sleep
+        delays = self.delays()
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline is not None:
+                deadline.check(unit)
+            try:
+                return fn()
+            except BudgetRunTimeout:
+                raise
+            except retry_on as exc:
+                if attempt > self.max_retries:
+                    log_event(
+                        "retries.exhausted",
+                        unit=unit,
+                        attempts=attempt,
+                        error=type(exc).__name__,
+                    )
+                    raise RetriesExhausted(unit, attempt, exc) from exc
+                delay = next(delays)
+                log_event(
+                    "retry",
+                    unit=unit,
+                    attempt=attempt,
+                    delay=round(delay, 6),
+                    error=type(exc).__name__,
+                )
+                if delay > 0:
+                    do_sleep(delay)

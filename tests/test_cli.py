@@ -45,9 +45,11 @@ class TestCharacteristics:
         assert rc == 0
         assert "edges_t2" in capsys.readouterr().out
 
-    def test_missing_file(self):
-        with pytest.raises(SystemExit, match="neither"):
-            main(["characteristics", "/does/not/exist.tsv"])
+    def test_missing_file(self, capsys):
+        rc = main(["characteristics", "/does/not/exist.tsv"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "neither" in err
 
 
 class TestTruth:
@@ -99,9 +101,10 @@ class TestExperiment:
         assert rc == 0
         assert "Table 2" in capsys.readouterr().out
 
-    def test_unknown_experiment(self):
-        with pytest.raises(SystemExit, match="unknown experiment"):
-            main(["experiment", "table7"])
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "table7"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestTrainAndModelDriven:
@@ -141,7 +144,50 @@ class TestMonitor:
 
 
 class TestErrorPaths:
-    def test_unknown_selector_message(self):
-        with pytest.raises(SystemExit, match="known selectors"):
-            main(["topk", "facebook", "--scale", "0.1",
-                  "--selector", "NotReal", "--m", "5", "--k", "3"])
+    """User-input errors: one-line ``error:`` message, exit code 2."""
+
+    def test_unknown_selector_message(self, capsys):
+        rc = main(["topk", "facebook", "--scale", "0.1",
+                   "--selector", "NotReal", "--m", "5", "--k", "3"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "known selectors" in err
+        assert "Traceback" not in err
+
+    def test_bad_checkpoints_list(self, capsys):
+        rc = main(["monitor", "dblp", "--scale", "0.15",
+                   "--checkpoints", "0.5,banana,1.0"])
+        assert rc == 2
+        assert "bad --checkpoints" in capsys.readouterr().err
+
+    def test_out_of_range_checkpoints(self, capsys):
+        rc = main(["monitor", "dblp", "--scale", "0.15",
+                   "--checkpoints", "0.5,1.5"])
+        assert rc == 2
+        assert "(0, 1]" in capsys.readouterr().err
+
+    def test_unknown_dataset_subset(self, capsys):
+        rc = main(["experiment", "table5", "--datasets", "nope"])
+        assert rc == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        rc = main(["experiment", "table5", "--resume"])
+        assert rc == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_nonpositive_deadline_is_exit_2(self, capsys):
+        for cmd in (
+            ["experiment", "table5", "--deadline-s", "0"],
+            ["monitor", "dblp", "--deadline-s", "-5"],
+        ):
+            rc = main(cmd)
+            assert rc == 2
+            assert "--deadline-s must be positive" in capsys.readouterr().err
+
+    def test_unreadable_file_is_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("x\t1\t2\n")  # timestamp column is not a number
+        rc = main(["characteristics", str(bad)])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err

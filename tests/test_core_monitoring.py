@@ -73,6 +73,20 @@ class TestValidation:
         with pytest.raises(ValueError, match="increase"):
             make_monitor(stream).run([0.5, 0.5, 1.0])
 
+    def test_out_of_range_fractions_rejected(self, stream):
+        # 1.5 used to clamp silently via snapshot_at_fraction's caller;
+        # fractions outside (0, 1] are now a hard error.
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            make_monitor(stream).run([0.5, 1.5])
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            make_monitor(stream).run([0.0, 0.5])
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            make_monitor(stream).run([-0.2, 0.5])
+
+    def test_bad_on_error_rejected(self, stream):
+        with pytest.raises(ValueError, match="on_error"):
+            make_monitor(stream, on_error="explode")
+
 
 class TestSummaries:
     def test_recurrent_nodes_counts_windows_not_pairs(self, stream):
@@ -91,6 +105,12 @@ class TestSummaries:
     def test_recurrent_nodes_validation(self, stream):
         with pytest.raises(ValueError):
             make_monitor(stream).recurrent_nodes(min_windows=0)
+
+    def test_failed_windows_empty_on_clean_run(self, stream):
+        monitor = make_monitor(stream)
+        monitor.run([0.5, 0.75, 1.0])
+        assert monitor.failed_windows() == []
+        assert all(r.ok for r in monitor.reports)
 
     def test_pair_timeline_rows(self, stream):
         monitor = make_monitor(stream)

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.datasets.io import read_edge_list, read_edge_stream, write_edge_stream
+from repro.datasets.io import (
+    ReadStats,
+    read_edge_list,
+    read_edge_stream,
+    write_edge_stream,
+)
 from repro.graph.dynamic import TemporalGraph
 
 from conftest import random_temporal_graph
@@ -54,6 +59,58 @@ class TestReadEdgeStream:
         path.write_text("0\t1\n")
         with pytest.raises(ValueError, match=":1:"):
             read_edge_stream(path)
+
+    def test_bad_timestamp_reports_location(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\nnope\t3\t4\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_edge_stream(path)
+
+    def test_crlf_line_endings_tolerated(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_bytes(b"# header\r\n0\t1\t2\r\n1\t2\t3\r\n")
+        tg = read_edge_stream(path)
+        assert tg.num_events == 2
+        assert tg.snapshot().has_edge(1, 2)
+
+    def test_missing_trailing_newline_tolerated(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\n1\t2\t3")  # no final newline
+        assert read_edge_stream(path).num_events == 2
+
+
+class TestSkipMode:
+    def test_strict_is_default_and_raises(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\ngarbage line\n")
+        with pytest.raises(ValueError):
+            read_edge_stream(path)
+
+    def test_skip_mode_counts_and_warns_once(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\ngarbage\nbad\t9\n1\t2\t3\n")
+        stats = ReadStats()
+        with pytest.warns(UserWarning, match="skipped 2 malformed"):
+            tg = read_edge_stream(path, errors="skip", stats=stats)
+        assert tg.num_events == 2
+        assert stats.skipped == 2
+        assert stats.parsed == 2
+        assert stats.lines == 4
+        assert ":2:" in stats.first_error
+
+    def test_skip_mode_clean_file_no_warning(self, tmp_path, recwarn):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\n")
+        stats = ReadStats()
+        read_edge_stream(path, errors="skip", stats=stats)
+        assert stats.skipped == 0
+        assert not recwarn.list
+
+    def test_unknown_errors_mode_rejected(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\n")
+        with pytest.raises(ValueError, match="errors must be"):
+            read_edge_stream(path, errors="ignore")
 
 
 class TestReadEdgeList:

@@ -2,7 +2,12 @@
 
 import math
 
-from repro.experiments.report import curve_block, format_table, percent
+from repro.experiments.report import (
+    curve_block,
+    format_table,
+    percent,
+    percent_label,
+)
 
 
 class TestFormatTable:
@@ -51,6 +56,12 @@ class TestPercent:
         assert percent(0.123) == "12.3"
         assert percent(0.0) == "0.0"
 
+    def test_failed_cell_renders_em_dash(self):
+        nan = float("nan")
+        assert percent(nan) == "—"
+        assert percent_label(nan) == "—"  # no trailing % on a dash
+        assert percent_label(0.5) == "50.0%"
+
 
 class TestCurveBlock:
     def test_contents(self):
@@ -58,6 +69,11 @@ class TestCurveBlock:
         assert "MMSD" in text
         assert "m=10: 50.0%" in text
         assert "m=20: 75.0%" in text
+
+    def test_failed_point(self):
+        text = curve_block("MMSD", [(10, float("nan")), (20, 0.75)])
+        assert "m=10: —," in text
+        assert "—%" not in text
 
 
 class TestJsonExport:

@@ -1,0 +1,197 @@
+"""Fault-injector unit tests and monitor chaos tests (-m faults)."""
+
+import pytest
+
+from repro.core.monitoring import ConvergenceMonitor
+from repro.resilience import (
+    CheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    run_guarded,
+)
+from repro.selection import get_selector
+
+from conftest import random_temporal_graph
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_s=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(fail_nth=(0,))
+
+    def test_fail_nth_is_exact(self):
+        injector = FaultInjector(FaultPlan(fail_nth=(2, 4)))
+        outcomes = []
+        fn = injector.wrap(lambda: "ok")
+        for _ in range(5):
+            try:
+                outcomes.append(fn())
+            except InjectedFault:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "fault", "ok", "fault", "ok"]
+        assert injector.calls == 5
+        assert injector.faults == 2
+
+    def test_fail_rate_is_deterministic_per_seed(self):
+        def decisions(seed):
+            injector = FaultInjector(FaultPlan(fail_rate=0.3, seed=seed))
+            fn = injector.wrap(lambda: True)
+            out = []
+            for _ in range(50):
+                try:
+                    fn()
+                    out.append(False)
+                except InjectedFault:
+                    out.append(True)
+            return out
+
+        assert decisions(5) == decisions(5)
+        assert decisions(5) != decisions(6)
+        assert any(decisions(5))  # 50 draws at 30% fail at least once
+
+    def test_counter_is_shared_across_wrapped_callables(self):
+        injector = FaultInjector(FaultPlan(fail_nth=(3,)))
+        a = injector.wrap(lambda: "a")
+        b = injector.wrap(lambda: "b")
+        assert a() == "a"
+        assert b() == "b"
+        with pytest.raises(InjectedFault):
+            a()
+
+    def test_latency_spike_uses_sleep_hook(self):
+        slept = []
+        injector = FaultInjector(
+            FaultPlan(latency_s=2.5, latency_nth=(2,)), sleep=slept.append
+        )
+        fn = injector.wrap(lambda: None)
+        fn()
+        fn()
+        fn()
+        assert slept == [2.5]
+
+    def test_latency_every_call_when_nth_empty(self):
+        slept = []
+        injector = FaultInjector(FaultPlan(latency_s=1.0), sleep=slept.append)
+        fn = injector.wrap(lambda: None)
+        fn()
+        fn()
+        assert slept == [1.0, 1.0]
+
+
+class TestRunGuardedWithFaults:
+    def test_retry_rides_through_injected_fault(self):
+        injector = FaultInjector(FaultPlan(fail_nth=(1,)))
+        fn = injector.wrap(lambda: 42)
+        value, error = run_guarded(
+            fn, unit="u",
+            retry_policy=RetryPolicy(max_retries=1, base_delay=0.0),
+        )
+        assert (value, error) == (42, None)
+        assert injector.calls == 2
+
+    def test_skip_mode_records_error(self):
+        injector = FaultInjector(FaultPlan(fail_nth=(1, 2)))
+        fn = injector.wrap(lambda: 42)
+        value, error = run_guarded(fn, unit="u", on_error="skip")
+        assert value is None
+        assert error.startswith("InjectedFault")
+
+    def test_fail_mode_propagates(self):
+        injector = FaultInjector(FaultPlan(fail_nth=(1,)))
+        with pytest.raises(InjectedFault):
+            run_guarded(injector.wrap(lambda: 42), unit="u", on_error="fail")
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_guarded(lambda: 1, unit="u", on_error="retry")
+
+
+# ----------------------------------------------------------------------
+# Monitor chaos: faults injected into the selector factory.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stream():
+    return random_temporal_graph(60, 240, seed=91)
+
+
+def make_monitor(stream, injector=None, **kwargs):
+    def factory():
+        if injector is not None:
+            injector.check("selector")
+        return get_selector("SumDiff", num_landmarks=3)
+
+    defaults = dict(k=10, m=8, seed=0)
+    defaults.update(kwargs)
+    return ConvergenceMonitor(stream, selector_factory=factory, **defaults)
+
+
+class TestMonitorDegradation:
+    def test_skip_records_failed_window_and_continues(self, stream):
+        injector = FaultInjector(FaultPlan(fail_nth=(2,)))
+        monitor = make_monitor(stream, injector, on_error="skip")
+        reports = monitor.run([0.4, 0.6, 0.8, 1.0])
+        assert [r.ok for r in reports] == [True, False, True]
+        failed = monitor.failed_windows()
+        assert len(failed) == 1
+        assert failed[0].start_fraction == 0.6
+        assert failed[0].error.startswith("InjectedFault")
+        assert failed[0].pairs == []
+        assert failed[0].sp_spent == 0
+        # Summaries still work over the surviving windows.
+        monitor.recurrent_nodes(min_windows=1)
+
+    def test_fail_mode_propagates(self, stream):
+        injector = FaultInjector(FaultPlan(fail_nth=(1,)))
+        monitor = make_monitor(stream, injector, on_error="fail")
+        with pytest.raises(InjectedFault):
+            monitor.run([0.5, 1.0])
+
+    def test_retry_heals_transient_window_fault(self, stream):
+        injector = FaultInjector(FaultPlan(fail_nth=(2,)))
+        healthy = make_monitor(stream).run([0.5, 0.75, 1.0])
+        monitor = make_monitor(
+            stream, injector,
+            retry_policy=RetryPolicy(max_retries=1, base_delay=0.0),
+        )
+        reports = monitor.run([0.5, 0.75, 1.0])
+        assert all(r.ok for r in reports)
+        # Retried output is identical to a fault-free run (same seed).
+        for healed, clean in zip(reports, healthy):
+            assert [p.pair for p in healed.pairs] == [p.pair for p in clean.pairs]
+
+    def test_checkpointed_windows_resume_without_recompute(self, stream, tmp_path):
+        store = CheckpointStore(tmp_path / "mon")
+        first = make_monitor(stream, checkpoint_store=store)
+        reports = first.run([0.5, 0.75, 1.0])
+
+        # "New process": a fresh monitor whose selector factory must
+        # never be called if resume works.
+        bomb = FaultInjector(FaultPlan(fail_rate=1.0))
+        second = make_monitor(stream, bomb, checkpoint_store=store)
+        resumed = second.run([0.5, 0.75, 1.0])
+        assert bomb.calls == 0
+        assert all(r.resumed for r in resumed)
+        for new, old in zip(resumed, reports):
+            assert [p.pair for p in new.pairs] == [p.pair for p in old.pairs]
+            assert new.sp_spent == old.sp_spent
+            assert new.result.budget.by_phase() == old.result.budget.by_phase()
+            assert new.result.candidates == old.result.candidates
+
+    def test_resume_false_ignores_existing_checkpoints(self, stream, tmp_path):
+        store = CheckpointStore(tmp_path / "mon")
+        make_monitor(stream, checkpoint_store=store).run([0.5, 1.0])
+        counter = FaultInjector(FaultPlan())  # counts, never fails
+        fresh = make_monitor(
+            stream, counter, checkpoint_store=store, resume=False
+        )
+        reports = fresh.run([0.5, 1.0])
+        assert counter.calls == 1
+        assert not reports[0].resumed

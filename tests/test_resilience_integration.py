@@ -1,0 +1,205 @@
+"""End-to-end resilience: sweep checkpoint/resume, degraded cells, and
+the kill-and-resume acceptance demo (byte-identical output, strictly
+fewer budgeted top-k computations)."""
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentConfig, clear_context_cache, topk_run_count
+from repro.experiments import runner
+from repro.experiments.report import percent
+from repro.experiments.runner import coverage_cell, get_context
+from repro.resilience import FaultInjector, FaultPlan, InjectedFault
+
+pytestmark = pytest.mark.faults
+
+SELECTORS = ("SumDiff", "MMSD")
+BUDGETS = (5, 10)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each test simulates separate processes; start and end clean."""
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+def make_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        scale=0.15, datasets=("actors",), repeats=1, num_landmarks=3,
+        experiment="itest",
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def run_sweep(config) -> dict:
+    ctx = get_context("actors", config.scale)
+    return {
+        (s, m): coverage_cell(ctx, s, m, 1, config)
+        for s in SELECTORS
+        for m in BUDGETS
+    }
+
+
+class TestSweepResume:
+    def test_resumed_sweep_never_recomputes_completed_cells(
+        self, tmp_path, monkeypatch
+    ):
+        config = make_config(
+            checkpoint_dir=str(tmp_path / "ckpt"), resume=True
+        )
+        first = run_sweep(config)
+        assert topk_run_count() == len(SELECTORS) * len(BUDGETS)
+
+        # "New process": caches gone, checkpoints on disk.  A counting
+        # selector factory proves no cell is recomputed.
+        clear_context_cache()
+        builds = {"n": 0}
+        real_build = runner.build_selector
+
+        def counting_build(name, cfg, context=None):
+            builds["n"] += 1
+            return real_build(name, cfg, context)
+
+        monkeypatch.setattr(runner, "build_selector", counting_build)
+        second = run_sweep(config)
+        assert builds["n"] == 0
+        assert topk_run_count() == 0
+        assert second == first
+
+    def test_without_resume_flag_checkpoints_are_not_read(self, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path / "ckpt"))
+        run_sweep(config)
+        clear_context_cache()
+        run_sweep(config)
+        assert topk_run_count() == len(SELECTORS) * len(BUDGETS)
+
+
+class TestDegradedCells:
+    def fail_selector(self, monkeypatch, name, plan=None):
+        """Make build_selector fail (per plan) for one selector name."""
+        injector = FaultInjector(plan or FaultPlan(fail_rate=1.0))
+        real_build = runner.build_selector
+
+        def flaky_build(selector_name, cfg, context=None):
+            if selector_name.lower() == name.lower():
+                injector.check(f"selector:{selector_name}")
+            return real_build(selector_name, cfg, context)
+
+        monkeypatch.setattr(runner, "build_selector", flaky_build)
+        return injector
+
+    def test_on_error_skip_matches_clean_run_on_surviving_cells(
+        self, monkeypatch
+    ):
+        clean = run_sweep(make_config())
+        clear_context_cache()
+        self.fail_selector(monkeypatch, "SumDiff")
+        partial = run_sweep(make_config(on_error="skip"))
+        for key, value in partial.items():
+            selector, _ = key
+            if selector == "SumDiff":
+                assert math.isnan(value)
+                assert percent(value) == "—"
+            else:
+                assert value == clean[key]
+
+    def test_on_error_fail_propagates(self, monkeypatch):
+        self.fail_selector(monkeypatch, "SumDiff")
+        with pytest.raises(InjectedFault):
+            run_sweep(make_config(on_error="fail"))
+
+    def test_cell_retry_heals_transient_fault(self, monkeypatch):
+        clean = run_sweep(make_config())
+        clear_context_cache()
+        injector = self.fail_selector(
+            monkeypatch, "SumDiff", FaultPlan(fail_nth=(1,))
+        )
+        healed = run_sweep(make_config(max_retries=2))
+        assert healed == clean
+        assert injector.faults == 1
+
+    def test_failed_cells_are_not_checkpointed(self, tmp_path, monkeypatch):
+        config = make_config(
+            checkpoint_dir=str(tmp_path / "ckpt"), resume=True,
+            on_error="skip",
+        )
+        real_build = runner.build_selector
+        self.fail_selector(monkeypatch, "SumDiff")
+        first = run_sweep(config)
+        assert math.isnan(first[("SumDiff", 5)])
+
+        # Fault fixed, same store: the NaN cells recompute, the good
+        # cells resume.
+        clear_context_cache()
+        monkeypatch.setattr(runner, "build_selector", real_build)
+        healed = run_sweep(make_config(
+            checkpoint_dir=str(tmp_path / "ckpt"), resume=True,
+        ))
+        assert not any(math.isnan(v) for v in healed.values())
+        assert topk_run_count() == len(BUDGETS)  # only SumDiff's cells
+
+
+# ----------------------------------------------------------------------
+# Acceptance: kill `repro experiment --checkpoint-dir` mid-sweep, rerun
+# with --resume, get byte-identical output for strictly less top-k work.
+# ----------------------------------------------------------------------
+class TestKillAndResumeCLI:
+    ARGS = ["experiment", "figure1", "--scale", "0.15", "--datasets", "actors"]
+
+    def test_kill_and_resume_is_byte_identical_and_cheaper(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Reference: one uninterrupted run in a fresh "process".
+        assert main(list(self.ARGS)) == 0
+        clean_out = capsys.readouterr().out
+        clean_runs = topk_run_count()
+        assert clean_runs > 0
+
+        # Interrupted run: the 10th budgeted top-k computation dies.
+        clear_context_cache()
+        ckpt = str(tmp_path / "ckpt")
+        injector = FaultInjector(FaultPlan(fail_nth=(10,)))
+        real_topk = runner.find_top_k_converging_pairs
+        monkeypatch.setattr(
+            runner,
+            "find_top_k_converging_pairs",
+            injector.wrap(real_topk, unit="topk"),
+        )
+        with pytest.raises(InjectedFault):
+            main(self.ARGS + ["--checkpoint-dir", ckpt])
+        capsys.readouterr()
+        monkeypatch.setattr(runner, "find_top_k_converging_pairs", real_topk)
+
+        # Resumed run in another fresh "process".
+        clear_context_cache()
+        assert main(self.ARGS + ["--checkpoint-dir", ckpt, "--resume"]) == 0
+        resumed_out = capsys.readouterr().out
+        resumed_runs = topk_run_count()
+
+        assert resumed_out == clean_out
+        assert resumed_runs < clean_runs
+        # The 9 completed computations belonged to fully-checkpointed
+        # cells; the resumed run must not repeat any of them.
+        assert resumed_runs <= clean_runs - 9
+
+
+class TestMonitorResumeCLI:
+    def test_monitor_rerun_reports_resumed_windows(self, tmp_path, capsys):
+        args = [
+            "monitor", "dblp", "--scale", "0.15",
+            "--checkpoints", "0.5,0.75,1.0", "--m", "10", "--k", "8",
+            "--checkpoint-dir", str(tmp_path / "mon"),
+        ]
+        assert main(list(args)) == 0
+        first = capsys.readouterr().out
+        assert "[resumed]" not in first
+
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert second.count("[resumed]") == 2
+        assert second.replace(" [resumed]", "") == first

@@ -1,0 +1,172 @@
+"""Unit tests for retry policies and deadlines (no wall-clock sleeps)."""
+
+import pytest
+
+from repro.resilience import (
+    BudgetRunTimeout,
+    Deadline,
+    RetriesExhausted,
+    RetryPolicy,
+    capture_events,
+)
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then returns ``value``."""
+
+    def __init__(self, failures: int, value="ok", exc=RuntimeError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom {self.calls}")
+        return self.value
+
+
+class TestBackoffSequence:
+    def test_deterministic_under_fixed_seed(self):
+        policy = RetryPolicy(max_retries=5, base_delay=0.1, seed=7)
+        assert list(policy.delays()) == list(policy.delays())
+        assert list(policy.delays()) == list(
+            RetryPolicy(max_retries=5, base_delay=0.1, seed=7).delays()
+        )
+
+    def test_different_seeds_differ(self):
+        a = list(RetryPolicy(max_retries=5, jitter=0.5, seed=1).delays())
+        b = list(RetryPolicy(max_retries=5, jitter=0.5, seed=2).delays())
+        assert a != b
+
+    def test_exponential_envelope_with_jitter_bounds(self):
+        policy = RetryPolicy(
+            max_retries=4, base_delay=1.0, multiplier=2.0, jitter=0.25,
+            max_delay=100.0, seed=0,
+        )
+        for i, delay in enumerate(policy.delays()):
+            base = 2.0**i
+            assert base <= delay <= base * 1.25
+
+    def test_max_delay_caps_the_base(self):
+        policy = RetryPolicy(
+            max_retries=6, base_delay=1.0, multiplier=10.0, jitter=0.0,
+            max_delay=5.0,
+        )
+        assert list(policy.delays())[-1] == 5.0
+
+    def test_zero_base_delay_never_sleeps(self):
+        sleeps = []
+        policy = RetryPolicy(max_retries=3, base_delay=0.0)
+        assert policy.call(Flaky(2), sleep=sleeps.append) == "ok"
+        assert sleeps == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestCall:
+    def test_recovers_within_budget(self):
+        sleeps = []
+        fn = Flaky(2)
+        policy = RetryPolicy(max_retries=2, base_delay=0.1, seed=3)
+        assert policy.call(fn, sleep=sleeps.append) == "ok"
+        assert fn.calls == 3
+        assert sleeps == list(policy.delays())
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        fn = Flaky(10)
+        policy = RetryPolicy(max_retries=2, base_delay=0.0)
+        with pytest.raises(RetriesExhausted) as info:
+            policy.call(fn, unit="demo")
+        assert info.value.attempts == 3
+        assert info.value.unit == "demo"
+        assert isinstance(info.value.last_error, RuntimeError)
+        assert isinstance(info.value.__cause__, RuntimeError)
+        assert fn.calls == 3
+
+    def test_zero_retries_fails_immediately(self):
+        fn = Flaky(1)
+        with pytest.raises(RetriesExhausted):
+            RetryPolicy(max_retries=0).call(fn)
+        assert fn.calls == 1
+
+    def test_retry_on_filters_exception_types(self):
+        fn = Flaky(1, exc=KeyError)
+        policy = RetryPolicy(max_retries=3, base_delay=0.0)
+        with pytest.raises(KeyError):
+            policy.call(fn, retry_on=(OSError,))
+        assert fn.calls == 1
+
+    def test_events_logged_per_retry(self):
+        policy = RetryPolicy(max_retries=1, base_delay=0.0)
+        with capture_events() as events:
+            policy.call(Flaky(1), unit="cell:demo", sleep=lambda s: None)
+        kinds = [kind for kind, _ in events]
+        assert kinds == ["retry"]
+        assert events[0][1]["unit"] == "cell:demo"
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.remaining() == 10.0
+        clock.advance(9.0)
+        assert not deadline.expired()
+        clock.advance(2.0)
+        assert deadline.expired()
+
+    def test_check_raises_typed_timeout(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("unit-x")  # fine
+        clock.advance(2.0)
+        with pytest.raises(BudgetRunTimeout) as info:
+            deadline.check("unit-x")
+        assert info.value.unit == "unit-x"
+        assert info.value.limit == 1.0
+        assert info.value.elapsed >= 2.0
+
+    def test_unlimited_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert deadline.remaining() is None
+        deadline.check()
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+    def test_deadline_stops_retry_loop_and_is_not_retried(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        fn = Flaky(100)
+
+        def ticking_sleep(seconds):
+            clock.advance(10.0)  # the first backoff blows the deadline
+
+        policy = RetryPolicy(max_retries=50, base_delay=0.1)
+        with pytest.raises(BudgetRunTimeout):
+            policy.call(fn, deadline=deadline, sleep=ticking_sleep)
+        assert fn.calls == 1
