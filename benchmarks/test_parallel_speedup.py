@@ -1,0 +1,105 @@
+"""Micro-benchmark: parallel all-sources BFS against the serial engine.
+
+Times :func:`all_sources_levels` over the largest catalog dataset at the
+benchmark scale for ``workers ∈ {1, 2, 4}``, asserts the level matrices
+are bit-identical, and reports the speedup.  With ``REPRO_WRITE_BENCH``
+set, writes the ``BENCH_parallel.json`` baseline at the repository root,
+stamped with the host's provenance (CPU count, platform, start method) —
+a single-core host records its honest 1.0× numbers, and the CI gate in
+``scripts/check_bench_parallel.py`` only enforces a speedup floor for
+baselines recorded on multi-core hosts.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import dataset_names, eval_snapshots, load
+from repro.graph.csr import CSRGraph, all_sources_levels
+from repro.parallel import available_start_method
+
+from conftest import emit
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+WORKER_COUNTS = (1, 2, 4)
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def largest(config):
+    """(name, g1) for the biggest catalog dataset at the bench scale."""
+    picked = max(
+        ((name, eval_snapshots(load(name, scale=config.scale))[0])
+         for name in dataset_names()),
+        key=lambda pair: pair[1].num_nodes,
+    )
+    return picked
+
+
+def _best_of(fn, rounds=ROUNDS):
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return result, min(times)
+
+
+def test_parallel_speedup(config, largest):
+    name, g1 = largest
+    csr = CSRGraph.from_graph(g1)
+    timings = {}
+    matrices = {}
+    for workers in WORKER_COUNTS:
+        matrices[workers], timings[workers] = _best_of(
+            lambda w=workers: all_sources_levels(csr, workers=w)
+        )
+    for workers in WORKER_COUNTS[1:]:
+        assert np.array_equal(matrices[workers], matrices[1])
+
+    cpus = os.cpu_count() or 1
+    speedup = {
+        f"workers{w}": round(timings[1] / timings[w], 3)
+        for w in WORKER_COUNTS[1:]
+    }
+    lines = [
+        f"Parallel all-sources BFS — {name} @ scale {config.scale} "
+        f"({csr.num_nodes} nodes, {g1.num_edges} edges, {cpus} cpus):"
+    ]
+    for w in WORKER_COUNTS:
+        note = "" if w == 1 else f"  ({timings[1] / timings[w]:.2f}x)"
+        lines.append(f"  workers={w}: {timings[w] * 1e3:8.1f} ms{note}")
+    emit("\n".join(lines))
+
+    if os.environ.get("REPRO_WRITE_BENCH"):
+        baseline = {
+            "schema": "bench-parallel/v1",
+            "dataset": name,
+            "scale": config.scale,
+            "nodes": csr.num_nodes,
+            "edges": g1.num_edges,
+            "host": {
+                "cpus": cpus,
+                "platform": platform.system().lower(),
+                "start_method": available_start_method(),
+            },
+            "timings_s": {
+                f"workers{w}": round(timings[w], 6) for w in WORKER_COUNTS
+            },
+            "speedup": speedup,
+        }
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        emit(f"wrote {BASELINE_PATH}")
+
+    # The floor only means anything where parallel hardware exists; a
+    # single-core container can at best tie (and pays pool overhead).
+    if cpus >= 2:
+        assert max(timings[1] / timings[w] for w in WORKER_COUNTS[1:]) >= 1.0

@@ -1,0 +1,91 @@
+"""Validate BENCH_parallel.json — the parallel-speedup baseline.
+
+Checks that the committed baseline parses, carries the expected schema
+and fields, and (optionally) that the recorded speedup clears a floor.
+The floor is only enforced for baselines recorded on a multi-core host:
+a single-core container can at best tie serial execution and pays pool
+overhead, so its honest sub-1.0 numbers are provenance, not regressions.
+
+Usage::
+
+    python scripts/check_bench_parallel.py [--path BENCH_parallel.json]
+                                           [--min-speedup 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+REQUIRED_FIELDS = (
+    "schema", "dataset", "scale", "nodes", "edges", "host",
+    "timings_s", "speedup",
+)
+
+
+def check(path: Path, min_speedup: float | None) -> int:
+    try:
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"{path} is missing", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+
+    missing = [f for f in REQUIRED_FIELDS if f not in baseline]
+    if missing:
+        print(f"{path} lacks fields: {', '.join(missing)}", file=sys.stderr)
+        return 1
+    if baseline["schema"] != "bench-parallel/v1":
+        print(f"unexpected schema {baseline['schema']!r}", file=sys.stderr)
+        return 1
+    timings = baseline["timings_s"]
+    if "workers1" not in timings or not baseline["speedup"]:
+        print("baseline must time workers=1 and at least one parallel "
+              "worker count", file=sys.stderr)
+        return 1
+    if any(t <= 0 for t in timings.values()):
+        print("timings must be positive", file=sys.stderr)
+        return 1
+
+    cpus = int(baseline["host"].get("cpus") or 1)
+    best = max(baseline["speedup"].values())
+    print(
+        f"{path.name}: {baseline['dataset']} @ scale {baseline['scale']}, "
+        f"recorded on {cpus} cpu(s), best speedup {best:.2f}x"
+    )
+    if min_speedup is not None:
+        if cpus < 2:
+            print(
+                f"single-core host recorded the baseline; "
+                f"skipping the {min_speedup:.2f}x floor"
+            )
+        elif best < min_speedup:
+            print(
+                f"best speedup {best:.2f}x is below the required "
+                f"{min_speedup:.2f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--path", type=Path, default=DEFAULT_PATH)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail if the best recorded speedup is below this "
+             "(skipped for baselines recorded on a single-core host)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.path, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -168,12 +168,20 @@ def _build_cli_selector(args):
         raise CLIError(exc.args[0]) from None
 
 
+def _check_workers(workers: int) -> int:
+    """Validate a ``--workers`` value (returns it for chaining)."""
+    if workers < 1:
+        raise CLIError(f"--workers must be >= 1, got {workers}")
+    return workers
+
+
 def cmd_topk(args) -> int:
     temporal = _load_input(args.input, args.scale, args.seed)
     g1, g2 = _snapshots(temporal, args.split)
     selector = _build_cli_selector(args)
     result = find_top_k_converging_pairs(
-        g1, g2, k=args.k, m=args.m, selector=selector, seed=args.seed or 0
+        g1, g2, k=args.k, m=args.m, selector=selector, seed=args.seed or 0,
+        workers=_check_workers(args.workers),
     )
     print(
         f"budget: {result.budget.spent}/{result.budget.limit} SSSPs "
@@ -317,6 +325,7 @@ def cmd_experiment(args) -> int:
         )
     config = ExperimentConfig(
         scale=args.scale,
+        workers=_check_workers(args.workers),
         checkpoint_dir=(
             str(args.checkpoint_dir) if args.checkpoint_dir else None
         ),
@@ -421,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--model", type=Path, default=None,
                       help="saved classifier model (.npz) — overrides "
                            "--selector with the matching classifier")
+    topk.add_argument("--workers", type=int, default=1,
+                      help="process-pool workers for the candidate SSSP "
+                           "batch (1 = serial; results are identical)")
     topk.set_defaults(func=cmd_topk)
 
     train = subs.add_parser(
@@ -451,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--datasets", default=None,
                      help="comma-separated catalog subset to run "
                           "(default: all four)")
+    exp.add_argument("--workers", type=int, default=1,
+                     help="process-pool workers for independent coverage "
+                          "cells (1 = serial; output is byte-identical "
+                          "at any worker count)")
     _add_resilience_options(exp)
     exp.set_defaults(func=cmd_experiment)
 

@@ -26,6 +26,7 @@ from repro.core.pairs import ConvergingPair, canonical_pair
 from repro.graph.graph import Graph
 from repro.graph.traversal import single_source_distances
 from repro.graph.validation import check_snapshot_pair
+from repro.parallel import ParallelExecutor, worker_state
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.selection.base import CandidateSelector
@@ -67,6 +68,7 @@ def find_top_k_converging_pairs(
     seed: Optional[int] = None,
     validate: bool = True,
     budget_limit: Optional[int] = -1,
+    workers: int = 1,
 ) -> TopKResult:
     """Algorithm 1: budgeted top-k converging pairs.
 
@@ -88,6 +90,10 @@ def find_top_k_converging_pairs(
     budget_limit:
         ``-1`` (default) enforces the paper's ``2m``; ``None`` disables
         enforcement; any other value is a custom limit.
+    workers:
+        Process-pool size for the phase-2 per-candidate SSSP batch
+        (1 = serial).  Results and budget accounting are bit-identical
+        at any worker count; candidate selection (phase 1) is untouched.
 
     Returns
     -------
@@ -128,28 +134,54 @@ def find_top_k_converging_pairs(
     # snapshots run through the vectorised CSR engine; weighted ones
     # stream Dijkstra rows.  Results are identical either way.
     if g1.is_weighted() or g2.is_weighted():
-        scored = _score_candidates_dict(g1, g2, candidates, result, budget)
+        scored = _score_candidates_dict(
+            g1, g2, candidates, result, budget, workers
+        )
     else:
-        scored = _score_candidates_csr(g1, g2, candidates, result, budget)
+        scored = _score_candidates_csr(
+            g1, g2, candidates, result, budget, workers
+        )
 
     ranked = sorted(scored.values(), key=ConvergingPair.sort_key)
     return TopKResult(pairs=ranked[:k], candidates=candidates, budget=budget)
 
 
+def _dict_rows_task(spec):
+    """Worker task: fresh distance maps for one candidate (weighted path)."""
+    c, need1, need2 = spec
+    state = worker_state()
+    d1 = single_source_distances(state["g1"], c) if need1 else None
+    d2 = single_source_distances(state["g2"], c) if need2 else None
+    return d1, d2
+
+
 def _score_candidates_dict(
-    g1: Graph, g2: Graph, candidates, result, budget: SPBudget
+    g1: Graph, g2: Graph, candidates, result, budget: SPBudget,
+    workers: int = 1,
 ) -> Dict[tuple, ConvergingPair]:
     """Reference scoring path: one distance map pair per candidate."""
+    fresh: Dict[Node, tuple] = {}
+    if workers > 1:
+        specs = [
+            (c, result.d1_rows.get(c) is None, result.d2_rows.get(c) is None)
+            for c in candidates
+        ]
+        if any(n1 or n2 for _, n1, n2 in specs):
+            executor = ParallelExecutor(workers, state={"g1": g1, "g2": g2})
+            rows = executor.map(_dict_rows_task, specs, unit="topk.sssp")
+            fresh = dict(zip(candidates, rows))
+
     scored: Dict[tuple, ConvergingPair] = {}
     for c in candidates:
+        pre1, pre2 = fresh.get(c, (None, None))
         d1 = result.d1_rows.get(c)
         if d1 is None:
             budget.charge("topk", "g1", 1)
-            d1 = single_source_distances(g1, c)
+            d1 = pre1 if pre1 is not None else single_source_distances(g1, c)
         d2 = result.d2_rows.get(c)
         if d2 is None:
             budget.charge("topk", "g2", 1)
-            d2 = single_source_distances(g2, c)
+            d2 = pre2 if pre2 is not None else single_source_distances(g2, c)
         for v, dv1 in d1.items():
             if v == c:
                 continue
@@ -162,8 +194,28 @@ def _score_candidates_dict(
     return scored
 
 
+def _csr_rows_task(spec):
+    """Worker task: fresh level rows for one candidate (CSR path).
+
+    ``spec`` is ``(i1, i2)`` — the candidate's index in each snapshot's
+    CSR view, or ``-1`` for a row the selector already cached (free).
+    """
+    i1, i2 = spec
+    from repro.graph.csr import bfs_levels
+
+    state = worker_state()
+    lv1 = None
+    if i1 >= 0:
+        lv1 = bfs_levels(state["csr1"], i1).astype(np.int64)
+    lv2 = None
+    if i2 >= 0:
+        lv2 = bfs_levels(state["csr2"], i2)[state["align"]].astype(np.int64)
+    return lv1, lv2
+
+
 def _score_candidates_csr(
-    g1: Graph, g2: Graph, candidates, result, budget: SPBudget
+    g1: Graph, g2: Graph, candidates, result, budget: SPBudget,
+    workers: int = 1,
 ) -> Dict[tuple, ConvergingPair]:
     """Vectorised scoring path for unweighted snapshots.
 
@@ -171,7 +223,9 @@ def _score_candidates_csr(
     CSR BFS runs — are held as level arrays aligned to ``G_t1``'s node
     order, and each candidate's Δ vector is a single numpy subtraction.
     The budget accounting is identical to the dict path: a cached row is
-    free, a missing one is charged to ``topk`` on its snapshot.
+    free, a missing one is charged to ``topk`` on its snapshot.  With
+    ``workers > 1`` the fresh rows are computed by a process pool first;
+    charging and scoring stay in the parent, in candidate order.
     """
     from repro.graph.csr import CSRGraph, UNREACHED, bfs_levels
 
@@ -180,6 +234,22 @@ def _score_candidates_csr(
     n = csr1.num_nodes
     nodes = csr1.nodes
     align = np.array([csr2.index[u] for u in nodes], dtype=np.int64)
+
+    fresh: Dict[Node, tuple] = {}
+    if workers > 1:
+        specs = [
+            (
+                csr1.index[c] if result.d1_rows.get(c) is None else -1,
+                csr2.index[c] if result.d2_rows.get(c) is None else -1,
+            )
+            for c in candidates
+        ]
+        if any(i1 >= 0 or i2 >= 0 for i1, i2 in specs):
+            executor = ParallelExecutor(
+                workers, state={"csr1": csr1, "csr2": csr2, "align": align}
+            )
+            rows = executor.map(_csr_rows_task, specs, unit="topk.sssp")
+            fresh = dict(zip(candidates, rows))
 
     def row_to_levels(row, index) -> np.ndarray:
         levels = np.full(n, UNREACHED, dtype=np.int64)
@@ -191,16 +261,23 @@ def _score_candidates_csr(
 
     scored: Dict[tuple, ConvergingPair] = {}
     for c in candidates:
+        pre1, pre2 = fresh.get(c, (None, None))
         cached1 = result.d1_rows.get(c)
         if cached1 is None:
             budget.charge("topk", "g1", 1)
-            lv1 = bfs_levels(csr1, csr1.index[c]).astype(np.int64)
+            lv1 = (
+                pre1 if pre1 is not None
+                else bfs_levels(csr1, csr1.index[c]).astype(np.int64)
+            )
         else:
             lv1 = row_to_levels(cached1, csr1.index)
         cached2 = result.d2_rows.get(c)
         if cached2 is None:
             budget.charge("topk", "g2", 1)
-            lv2 = bfs_levels(csr2, csr2.index[c])[align].astype(np.int64)
+            lv2 = (
+                pre2 if pre2 is not None
+                else bfs_levels(csr2, csr2.index[c])[align].astype(np.int64)
+            )
         else:
             lv2 = row_to_levels(cached2, csr1.index)
         reached = lv1 != UNREACHED

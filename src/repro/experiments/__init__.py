@@ -39,6 +39,7 @@ from repro.experiments.runner import (
     build_selector,
     clear_context_cache,
     coverage_cell,
+    coverage_cells,
     get_context,
     topk_run_count,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "build_selector",
     "clear_context_cache",
     "coverage_cell",
+    "coverage_cells",
     "get_context",
     "topk_run_count",
     "result_to_dict",

@@ -46,6 +46,10 @@ class ExperimentConfig:
     #: Independent selector runs averaged per coverage cell (randomised
     #: selectors only; deterministic ones run once).
     repeats: int = 3
+    #: Process-pool workers for the parallel drivers (1 = serial).  Any
+    #: worker count produces bit-identical results — ``workers`` never
+    #: enters checkpoint keys or caches (see docs/parallel.md).
+    workers: int = 1
 
     # -- resilience (see repro.resilience and docs/resilience.md) -------
     #: Directory for per-cell checkpoints; ``None`` disables persistence.

@@ -8,6 +8,7 @@ table/figure modules stay declarative.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,9 +35,11 @@ from repro.ml.training import (
     train_global_classifier,
     train_local_classifier,
 )
+from repro.parallel import ParallelExecutor, worker_state
 from repro.resilience import (
     CheckpointStore,
     Deadline,
+    FaultInjector,
     RetryPolicy,
     log_event,
     run_guarded,
@@ -392,6 +395,63 @@ def coverage_cell(
     return value
 
 
+#: A coverage-cell work item: ``(dataset, selector, m, offset)``.  The
+#: dataset is named (not passed as an object) so pool workers rebuild
+#: their own :class:`DatasetContext` from the catalog — once per worker,
+#: then cached across every cell the worker processes.
+CellSpec = Tuple[str, str, int, int]
+
+
+def _cell_task(spec: CellSpec) -> float:
+    """Worker task: one coverage cell against the installed config."""
+    name, selector_name, m, offset = spec
+    config = worker_state()["config"]
+    context = get_context(name, config.scale)
+    return coverage_cell(context, selector_name, m, offset, config)
+
+
+def coverage_cells(
+    specs: Sequence[CellSpec],
+    config: ExperimentConfig,
+    *,
+    chunk_size: Optional[int] = None,
+    fault_injector: Optional[FaultInjector] = None,
+) -> List[float]:
+    """Many independent coverage cells, fanned out when ``config.workers > 1``.
+
+    Cells are the sweep's unit of expensive work and are mutually
+    independent, so this is the experiment layer's parallel driver: each
+    worker rebuilds the named catalog datasets once (contexts are cached
+    per process) and runs the ordinary :func:`coverage_cell` — resume,
+    retries, and checkpointing behave exactly as in serial mode, and
+    checkpoint keys contain nothing worker-dependent.  Values are
+    returned in ``specs`` order and are bit-identical at any worker
+    count or chunk size.
+
+    A chunk whose worker dies degrades to serial recomputation in the
+    parent (``parallel.degraded`` event); ``fault_injector`` is the
+    chaos-test hook that triggers exactly that path deterministically.
+    Only catalog datasets can be fanned out (workers rebuild contexts by
+    name).
+    """
+    specs = list(specs)
+    if config.workers <= 1 and fault_injector is None:
+        return [
+            coverage_cell(get_context(name, config.scale), s, m, o, config)
+            for name, s, m, o in specs
+        ]
+    # Cells inside workers must not nest another pool.
+    inner = dataclasses.replace(config, workers=1)
+    executor = ParallelExecutor(
+        config.workers,
+        state={"config": inner},
+        chunk_size=chunk_size,
+        fault_injector=fault_injector,
+    )
+    unit = f"cells:{config.experiment or 'sweep'}"
+    return executor.map(_cell_task, specs, unit=unit)
+
+
 def budget_sweep(
     context: DatasetContext,
     selector_names: Sequence[str],
@@ -400,6 +460,16 @@ def budget_sweep(
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Coverage-vs-budget curves for several selectors at one δ offset."""
     curves: Dict[str, List[Tuple[int, float]]] = {}
+    if config.workers > 1:
+        specs = [
+            (context.name, name, m, offset)
+            for name in selector_names
+            for m in config.budget_sweep
+        ]
+        values = iter(coverage_cells(specs, config))
+        for name in selector_names:
+            curves[name] = [(m, next(values)) for m in config.budget_sweep]
+        return curves
     for name in selector_names:
         curves[name] = [
             (m, coverage_cell(context, name, m, offset, config))

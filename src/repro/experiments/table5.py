@@ -19,7 +19,7 @@ from typing import Dict, List, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table, percent
-from repro.experiments.runner import coverage_cell, get_context
+from repro.experiments.runner import coverage_cells, get_context
 from repro.selection import SINGLE_FEATURE_SELECTORS
 
 
@@ -40,18 +40,27 @@ class Table5Result:
 
 
 def run(config: ExperimentConfig) -> Table5Result:
-    """Fill the full coverage matrix at the fixed budget."""
+    """Fill the full coverage matrix at the fixed budget.
+
+    Every cell is independent, so the whole matrix is one
+    :func:`~repro.experiments.runner.coverage_cells` batch — with
+    ``config.workers > 1`` the cells fan out across datasets and
+    algorithms at once.
+    """
     columns: List[Tuple[str, int, float, int]] = []
-    coverage: Dict[Tuple[str, str, int], float] = {}
+    cells: List[Tuple[str, str, int, int]] = []
     for name in config.datasets:
         ctx = get_context(name, config.scale)
         for offset in ctx.distinct_offsets(config.delta_offsets):
             truth = ctx.truth_at_offset(offset)
             columns.append((name, offset, truth.delta_min, truth.k))
             for algo in SINGLE_FEATURE_SELECTORS:
-                coverage[(algo, name, offset)] = coverage_cell(
-                    ctx, algo, config.budget, offset, config
-                )
+                cells.append((name, algo, config.budget, offset))
+    values = coverage_cells(cells, config)
+    coverage: Dict[Tuple[str, str, int], float] = {
+        (algo, name, offset): value
+        for (name, algo, _, offset), value in zip(cells, values)
+    }
     return Table5Result(
         algorithms=tuple(SINGLE_FEATURE_SELECTORS),
         columns=columns,

@@ -156,13 +156,28 @@ def bfs_distances_fast(graph: Graph, source: Node) -> Dict[Node, int]:
     return {csr.nodes[i]: int(levels[i]) for i in reached}
 
 
-def all_sources_levels(csr: CSRGraph) -> np.ndarray:
+def _levels_row_task(i: int) -> np.ndarray:
+    """Worker task: one BFS level row against the installed CSR view."""
+    from repro.parallel import worker_state
+
+    return bfs_levels(worker_state()["csr"], i)
+
+
+def all_sources_levels(csr: CSRGraph, workers: int = 1) -> np.ndarray:
     """Dense all-pairs level matrix (``UNREACHED`` off-component).
 
     ``O(n)`` memory per row is materialised all at once — intended for
     the catalog-scale ground-truth pass, not million-node graphs.
+    ``workers > 1`` fans the rows out across a process pool (each worker
+    holds one CSR copy); the matrix is bit-identical at any worker count.
     """
     n = csr.num_nodes
+    if workers > 1 and n:
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(workers, state={"csr": csr})
+        rows = executor.map(_levels_row_task, range(n), unit="apsp.levels")
+        return np.stack(rows)
     out = np.empty((n, n), dtype=np.int32)
     for i in range(n):
         out[i] = bfs_levels(csr, i)

@@ -1,0 +1,26 @@
+"""Parallel SSSP execution layer.
+
+One executor (:class:`~repro.parallel.executor.ParallelExecutor`) fans
+independent work items — APSP rows, per-candidate SSSP batches, coverage
+cells — across a process pool with **bit-identical results to serial
+execution** at any worker count or chunk size.  The drivers live next to
+the code they accelerate (:mod:`repro.graph.apsp`,
+:mod:`repro.graph.csr`, :mod:`repro.core.algorithm`,
+:mod:`repro.experiments.runner`); this package provides the shared
+machinery.  See ``docs/parallel.md`` for the worker model and
+determinism guarantees.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    available_start_method,
+    in_worker,
+    worker_state,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "available_start_method",
+    "in_worker",
+    "worker_state",
+]

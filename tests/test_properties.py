@@ -7,6 +7,8 @@ equivalence, budget arithmetic, and scaling/ordering properties of the
 ML substrate.
 """
 
+import dataclasses
+import json
 import math
 
 import numpy as np
@@ -25,10 +27,14 @@ from repro.core.pairs import (
     k_for_delta_threshold,
     top_k_converging_pairs,
 )
+from repro.experiments import ExperimentConfig, result_to_dict
+from repro.experiments import table5
+from repro.experiments.runner import coverage_cells
 from repro.graph.dynamic import TemporalGraph
 from repro.graph.graph import Graph
 from repro.graph.traversal import bfs_distances
 from repro.ml.scaling import MinMaxScaler
+from repro.parallel import ParallelExecutor, worker_state
 
 # ----------------------------------------------------------------------
 # Strategies
@@ -233,6 +239,65 @@ class TestBudgetProperties:
             except BudgetExceededError:
                 pass
         assert budget.spent <= limit
+
+
+# ----------------------------------------------------------------------
+# Parallel execution laws
+# ----------------------------------------------------------------------
+def _scaled_negate(x: int) -> int:
+    """Picklable task for the executor properties (reads worker state)."""
+    return -x * worker_state().get("scale", 1)
+
+
+class TestParallelDeterminism:
+    """Worker count and chunk size are execution details, never results."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-50, max_value=50), max_size=12),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_map_equals_serial_for_any_layout(self, items, workers, chunk):
+        expected = [-x * 2 for x in items]
+        executor = ParallelExecutor(
+            workers, state={"scale": 2}, chunk_size=chunk
+        )
+        assert executor.map(_scaled_negate, items) == expected
+
+    @settings(
+        max_examples=3, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_exported_report_bytes_worker_independent(self, seed, chunk):
+        """Same seed + same config ⇒ byte-identical exported report,
+        regardless of worker count or chunk size."""
+        config = ExperimentConfig(
+            scale=0.15, budget=6, budget_sweep=(3, 6), delta_offsets=(0,),
+            repeats=1, datasets=("facebook",), incbet_pivots=8,
+            seed=seed, workers=1, experiment="table5",
+        )
+        specs = [
+            ("facebook", name, m, 0)
+            for name in ("Degree", "SumDiff")
+            for m in (3, 6)
+        ]
+        serial_cells = coverage_cells(specs, config)
+        parallel_cells = coverage_cells(
+            specs, dataclasses.replace(config, workers=2), chunk_size=chunk
+        )
+        assert json.dumps(parallel_cells) == json.dumps(serial_cells)
+
+        # What `experiment --json` writes, byte for byte.
+        def export(workers: int) -> str:
+            result = table5.run(dataclasses.replace(config, workers=workers))
+            return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+        assert export(2) == export(1)
 
 
 # ----------------------------------------------------------------------
