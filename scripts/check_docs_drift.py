@@ -1,0 +1,72 @@
+"""Fail CI when a generated doc no longer matches its generator.
+
+Regenerates each tracked artefact in memory and diffs it against the
+committed file — the committed copy must be byte-identical to what the
+generator produces from the live package, otherwise the docs have
+drifted and the commit should have regenerated them.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs_drift.py         # check
+    PYTHONPATH=src python scripts/check_docs_drift.py --fix   # regenerate
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import generate_api_docs  # noqa: E402  (path set up above)
+
+#: ``committed file -> zero-argument generator returning its content``.
+TRACKED = {
+    REPO_ROOT / "docs" / "api.md": generate_api_docs.generate,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="rewrite drifted files instead of failing",
+    )
+    args = parser.parse_args(argv)
+    drifted = 0
+    for path, generate in TRACKED.items():
+        expected = generate()
+        current = path.read_text(encoding="utf-8") if path.exists() else ""
+        if current == expected:
+            print(f"ok: {path.relative_to(REPO_ROOT)}")
+            continue
+        if args.fix:
+            path.write_text(expected, encoding="utf-8")
+            print(f"rewrote: {path.relative_to(REPO_ROOT)}")
+            continue
+        drifted += 1
+        print(f"DRIFT: {path.relative_to(REPO_ROOT)} is stale", file=sys.stderr)
+        diff = difflib.unified_diff(
+            current.splitlines(keepends=True),
+            expected.splitlines(keepends=True),
+            fromfile=f"committed/{path.name}",
+            tofile=f"generated/{path.name}",
+        )
+        sys.stderr.writelines(list(diff)[:40])
+    if drifted:
+        print(
+            f"{drifted} generated doc(s) drifted; run "
+            f"'PYTHONPATH=src python scripts/check_docs_drift.py --fix' "
+            f"and commit the result",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -281,6 +281,12 @@ def cmd_monitor(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import ExperimentConfig
     from repro.experiments import (
@@ -454,6 +460,15 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--m", type=int, default=20)
     _add_resilience_options(mon)
     mon.set_defaults(func=cmd_monitor)
+
+    lint = subs.add_parser(
+        "lint",
+        help="check the determinism/budget invariants (reprolint)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     exp = subs.add_parser("experiment", help="run one paper artefact")
     exp.add_argument("name", help="table1/2/3/5/6 or figure1/2/3")

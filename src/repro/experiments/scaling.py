@@ -73,17 +73,17 @@ def run_scaling(
         temporal = catalog.load(dataset, scale=scale)
         g1, g2 = eval_snapshots(temporal)
 
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # reprolint: disable=R002 -- timing experiment: wall-clock runtime is the measured quantity
         delta_histogram(g1, g2, validate=False)
-        exact_seconds = time.perf_counter() - t0
+        exact_seconds = time.perf_counter() - t0  # reprolint: disable=R002 -- timing experiment: wall-clock runtime is the measured quantity
 
         selector = get_selector("MMSD", num_landmarks=config.num_landmarks)
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # reprolint: disable=R002 -- timing experiment: wall-clock runtime is the measured quantity
         result = find_top_k_converging_pairs(
             g1, g2, k=50, m=config.budget, selector=selector,
             seed=config.seed, validate=False,
         )
-        budgeted_seconds = time.perf_counter() - t0
+        budgeted_seconds = time.perf_counter() - t0  # reprolint: disable=R002 -- timing experiment: wall-clock runtime is the measured quantity
 
         rows.append(
             ScalingRow(

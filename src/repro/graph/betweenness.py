@@ -134,7 +134,8 @@ def approximate_edge_betweenness(
     """
     if num_pivots <= 0:
         raise ValueError(f"num_pivots must be positive, got {num_pivots}")
-    rng = rng if rng is not None else np.random.default_rng()
+    # Seeded default: an rng-less call must still be reproducible
+    rng = rng if rng is not None else np.random.default_rng(0)
     nodes = list(graph.nodes())
     n = len(nodes)
     if num_pivots >= n:

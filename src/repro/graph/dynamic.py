@@ -73,7 +73,7 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def add_event(self, event) -> None:
+    def add_event(self, event: "EdgeEvent | Sequence") -> None:
         """Append one event; tuples are coerced to :class:`EdgeEvent`."""
         if not isinstance(event, EdgeEvent):
             if len(event) == 3:

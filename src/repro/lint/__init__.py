@@ -1,0 +1,42 @@
+"""reprolint: AST-based enforcement of the project's reproducibility contracts.
+
+The reproduction's guarantees — byte-identical output at any worker
+count, seeded-only randomness, an audited SSSP budget ledger, resume
+keys independent of execution-only config — are invariants of the
+*codebase*, not of any single test.  This package checks them
+mechanically on every commit:
+
+======  ==============================  =======================================
+code    name                            invariant protected
+======  ==============================  =======================================
+R001    unseeded-randomness             all randomness flows from explicit seeds
+R002    wall-clock-read                 results never depend on the clock
+R003    networkx-outside-tests          networkx is a test oracle, not a dep
+R004    uncharged-sssp                  every SSSP is charged to SPBudget
+R005    mutable-default-argument        no state leaks across runs via defaults
+R006    swallowed-broad-except          failures re-raise or emit a log_event
+R007    execution-config-in-...-key     checkpoint keys are worker-independent
+R008    unpicklable-parallel-task       pool tasks survive spawn pickling
+======  ==============================  =======================================
+
+Run ``repro lint`` (or ``python -m repro.lint``); see
+docs/static-analysis.md for suppressions and the baseline workflow.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.registry import Rule, all_rules, get_rule
+from repro.lint.runner import LintResult, lint_paths, lint_source
+from repro.lint.suppress import parse_suppressions
+from repro.lint.violation import Violation
+
+__all__ = [
+    "Baseline",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]

@@ -1,0 +1,100 @@
+"""The committed-violation baseline: legacy debt tracked, new debt fatal.
+
+The baseline file records fingerprints of violations that predate the
+linter (or were consciously deferred).  A lint run subtracts baselined
+violations from its findings, so CI fails only on *new* breaches while
+the legacy ones stay visible in one reviewable place.  Entries are
+keyed on ``(code, path, line text)`` — not line numbers — so unrelated
+edits don't churn the file.  ``--strict`` additionally fails on *stale*
+entries (fixed violations must be removed from the baseline), keeping
+the debt list honest in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.violation import Violation
+
+VERSION = 1
+
+
+class Baseline:
+    """A multiset of violation fingerprints with file persistence."""
+
+    def __init__(self, entries: Sequence[tuple] = ()) -> None:
+        self._entries: Counter = Counter(tuple(e) for e in entries)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+        return cls([v.fingerprint() for v in violations])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(
+            (e["code"], e["path"], e["line_text"])
+            for e in payload.get("entries", ())
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the baseline deterministically (sorted, one entry/line)."""
+        entries = [
+            {"code": code, "path": rel, "line_text": text}
+            for (code, rel, text), count in sorted(self._entries.items())
+            for _ in range(count)
+        ]
+        payload = {"version": VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    def entries(self) -> List[tuple]:
+        """The raw fingerprints (sorted, with multiplicity)."""
+        return [
+            entry
+            for entry, count in sorted(self._entries.items())
+            for _ in range(count)
+        ]
+
+    def partition(
+        self, violations: Sequence[Violation]
+    ) -> Tuple[List[Violation], List[tuple]]:
+        """Split findings into ``(new, stale_baseline_entries)``.
+
+        A baselined fingerprint absorbs at most its recorded multiplicity
+        of matching violations; the remainder are *new*.  Entries never
+        matched are *stale* — their violation was fixed (or the line
+        changed) and the baseline should be regenerated.
+        """
+        remaining: Counter = Counter(self._entries)
+        new: List[Violation] = []
+        for violation in violations:
+            key = violation.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                new.append(violation)
+        stale = [
+            entry
+            for entry, count in sorted(remaining.items())
+            for _ in range(count)
+        ]
+        return new, stale

@@ -1,0 +1,132 @@
+"""The ``repro lint`` / ``python -m repro.lint`` command.
+
+Exit codes: 0 clean, 1 violations (or strict-mode findings), 2 usage
+errors — matching the main CLI's convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.registry import all_rules
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import lint_paths
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options (shared with the ``repro`` subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="lint roots (default: ./src if it exists, else .)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries and suppressions "
+             "without a justification",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format", help="report format",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current violations as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _default_paths() -> List[Path]:
+    src = Path("src")
+    return [src if src.is_dir() else Path(".")]
+
+
+def _print_rules() -> None:
+    for r in all_rules():
+        print(f"{r.code}  {r.name}: {r.summary}")
+        print(f"      invariant: {r.invariant}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    try:
+        return _run_lint(args)
+    except BrokenPipeError:
+        # The reader went away (e.g. `repro lint ... | head`); swap in
+        # devnull so the interpreter's exit-time flush doesn't raise too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rules()
+        return 0
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = Path(DEFAULT_BASELINE)
+        baseline_path = default if default.exists() or args.write_baseline else None
+    paths = list(args.paths) or _default_paths()
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path {path}", file=sys.stderr)
+            return 2
+    try:
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path is not None
+            else Baseline()
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(paths, baseline=baseline, select=select)
+    except KeyError as exc:
+        # select_rules' message lists the known codes.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        Baseline.from_violations(result.violations).save(target)
+        print(f"wrote {len(result.violations)} entr(y/ies) to {target}")
+        return 0
+
+    render = render_json if args.output_format == "json" else render_text
+    print(render(result, strict=args.strict))
+    return 0 if result.ok(strict=args.strict) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the determinism and "
+                    "budget contracts (see docs/static-analysis.md).",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

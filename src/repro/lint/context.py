@@ -1,0 +1,139 @@
+"""Per-file analysis context shared by every rule.
+
+A :class:`FileContext` wraps one parsed source file with the helpers the
+rules need: the AST annotated with parent links, an import-alias map
+that resolves ``np.random.default_rng`` to ``numpy.random.default_rng``
+no matter how numpy was imported, and enclosing-function lookups.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lint.violation import Violation
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The ``a.b.c`` form of a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Resolves local names to the canonical dotted module path.
+
+    ``import numpy as np`` maps ``np -> numpy``;
+    ``from numpy import random as r`` maps ``r -> numpy.random``;
+    ``from time import time`` maps ``time -> time.time``.  Names bound
+    by assignment (``rng = ...``) stay unresolved, which keeps rules
+    from guessing about runtime values.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: Optional[str]) -> Optional[str]:
+        """Canonical dotted path of ``name``, or ``None`` if unimported."""
+        if not name:
+            return None
+        head, _, rest = name.partition(".")
+        target = self._aliases.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_node(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute node."""
+        return self.resolve(dotted_name(node))
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    #: Posix path relative to the lint root (``repro/graph/csr.py``).
+    path: str
+    #: Raw source text.
+    source: str
+    #: Parsed module, with ``.parent`` links on every node.
+    tree: ast.Module
+    #: Source split into lines (0-indexed).
+    lines: List[str] = field(default_factory=list)
+    #: Import-alias resolution for this file.
+    imports: ImportMap = None  # type: ignore[assignment]
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child.parent = node  # type: ignore[attr-defined]
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            imports=ImportMap(tree),
+        )
+
+    # ------------------------------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        """The stripped source of 1-based line ``lineno``."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def violation(self, node: ast.AST, code: str, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            path=self.path,
+            line=line,
+            col=col,
+            code=code,
+            message=message,
+            line_text=self.line_text(line),
+        )
+
+    # ------------------------------------------------------------------
+    def enclosing_functions(self, node: ast.AST) -> List[ast.AST]:
+        """Innermost-first chain of function defs containing ``node``."""
+        chain: List[ast.AST] = []
+        current = getattr(node, "parent", None)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                chain.append(current)
+            current = getattr(current, "parent", None)
+        return chain
+
+    def calls_method(self, scope: ast.AST, method: str) -> bool:
+        """Whether ``scope``'s subtree calls any ``<expr>.<method>(...)``."""
+        for sub in ast.walk(scope):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == method
+            ):
+                return True
+        return False

@@ -1,0 +1,72 @@
+"""The rule registry: code -> (checker, metadata).
+
+Rules self-register at import time through the :func:`rule` decorator;
+:func:`all_rules` is the runner's single source of truth and the
+``--list-rules`` output.  Each rule documents the *project invariant* it
+protects, so the catalog doubles as enforcement documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Sequence
+
+from repro.lint.context import FileContext
+from repro.lint.violation import Violation
+
+Checker = Callable[[FileContext], Iterator[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant check."""
+
+    code: str
+    name: str
+    summary: str
+    #: The determinism/budget contract this rule mechanically enforces.
+    invariant: str
+    check: Checker
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str, invariant: str) -> Callable[[Checker], Checker]:
+    """Register ``check`` under ``code`` (e.g. ``R001``)."""
+
+    def decorator(check: Checker) -> Checker:
+        if code in _RULES:
+            raise ValueError(f"duplicate rule code {code!r}")
+        _RULES[code] = Rule(
+            code=code, name=name, summary=summary, invariant=invariant,
+            check=check,
+        )
+        return check
+
+    return decorator
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    _load()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    """The rule registered under ``code``; raises ``KeyError`` if unknown."""
+    _load()
+    if code not in _RULES:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule {code!r}; known rules: {known}")
+    return _RULES[code]
+
+
+def select_rules(codes: Sequence[str]) -> List[Rule]:
+    """Resolve an explicit code list (validating every entry)."""
+    return [get_rule(code) for code in codes]
+
+
+def _load() -> None:
+    """Import the rule modules (idempotent; registers on first import)."""
+    from repro.lint import rules  # noqa: F401  (import side effect)

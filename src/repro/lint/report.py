@@ -1,0 +1,64 @@
+"""Render a :class:`~repro.lint.runner.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.runner import LintResult
+
+
+def render_text(result: LintResult, strict: bool = False) -> str:
+    """The human report: one ``path:line:col CODE message`` per finding."""
+    lines = []
+    for path, error in result.parse_errors:
+        lines.append(f"{path}: parse error: {error}")
+    baselined = len(result.violations) - len(result.new_violations)
+    for v in result.new_violations:
+        lines.append(f"{v.path}:{v.line}:{v.col} {v.code} {v.message}")
+    if strict:
+        for path, sup in result.unjustified_suppressions:
+            lines.append(
+                f"{path}:{sup.comment_line}:0 R000 suppression of "
+                f"{','.join(sup.codes)} has no justification; append "
+                f"'-- <why>'"
+            )
+        for code, path, line_text in result.stale_baseline:
+            lines.append(
+                f"{path}: stale baseline entry {code} ({line_text!r}); "
+                f"regenerate with --write-baseline"
+            )
+    summary = (
+        f"{result.files} file(s): {len(result.new_violations)} new "
+        f"violation(s), {baselined} baselined"
+    )
+    if strict:
+        summary += (
+            f", {len(result.stale_baseline)} stale baseline entr(y/ies), "
+            f"{len(result.unjustified_suppressions)} unjustified "
+            f"suppression(s)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, strict: bool = False) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "files": result.files,
+        "ok": result.ok(strict=strict),
+        "new_violations": [v.to_json() for v in result.new_violations],
+        "baselined": len(result.violations) - len(result.new_violations),
+        "parse_errors": [
+            {"path": path, "error": error}
+            for path, error in result.parse_errors
+        ],
+        "stale_baseline": [
+            {"code": code, "path": path, "line_text": line_text}
+            for code, path, line_text in result.stale_baseline
+        ],
+        "unjustified_suppressions": [
+            {"path": path, "line": sup.comment_line, "codes": list(sup.codes)}
+            for path, sup in result.unjustified_suppressions
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

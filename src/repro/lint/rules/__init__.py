@@ -1,0 +1,11 @@
+"""Rule modules; importing this package registers every rule.
+
+Add a new rule by dropping a module here that uses
+:func:`repro.lint.registry.rule` and importing it below.
+"""
+
+from repro.lint.rules import budget  # noqa: F401
+from repro.lint.rules import contracts  # noqa: F401
+from repro.lint.rules import determinism  # noqa: F401
+from repro.lint.rules import imports  # noqa: F401
+from repro.lint.rules import safety  # noqa: F401

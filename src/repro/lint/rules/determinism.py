@@ -1,0 +1,139 @@
+"""R001/R002: seeded-only randomness, no wall-clock reads.
+
+The reproduction's headline guarantee is byte-identical output for a
+given seed at any worker count (docs/parallel.md).  Both rules close
+the two classic leaks: entropy from an unseeded RNG and entropy from
+the clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.registry import rule
+from repro.lint.violation import Violation
+
+#: ``random.<fn>`` module-level functions that draw from the hidden
+#: global RNG.  ``random.Random(seed)`` is the sanctioned alternative.
+_STDLIB_GLOBAL_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "paretovariate",
+    "weibullvariate", "vonmisesvariate", "triangular", "getrandbits",
+    "randbytes", "seed",
+})
+
+#: ``numpy.random.<fn>`` legacy global-state functions.
+_NUMPY_GLOBAL_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "bytes", "uniform",
+    "normal", "standard_normal", "poisson", "binomial", "exponential",
+    "beta", "gamma", "seed",
+})
+
+#: Constructors that are unseeded when called with no arguments.
+_SEEDABLE_CTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+})
+
+#: Resolved callables that read the wall clock or a process clock.
+_CLOCK_NAMES = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.localtime", "time.gmtime", "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Files allowed to touch clocks: the resilience layer's event/deadline
+#: machinery, where elapsed wall time is the domain object itself (and
+#: the clock is injectable for tests).
+R002_ALLOWED_PATHS = frozenset({
+    "repro/resilience/events.py",
+    "repro/resilience/policy.py",
+})
+
+
+def _is_seedless_call(call: ast.Call) -> bool:
+    """No positional seed and no seed-like keyword."""
+    if call.args:
+        return False
+    return not any(
+        kw.arg in ("seed", "x") or kw.arg is None for kw in call.keywords
+    )
+
+
+@rule(
+    "R001",
+    "unseeded-randomness",
+    summary="module-level or unseeded RNG use",
+    invariant="All randomness flows from an explicit seed: construct "
+              "random.Random(seed) / numpy.random.default_rng(seed) and "
+              "thread it through (docs/parallel.md determinism contract).",
+)
+def check_unseeded_randomness(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.imports.resolve_node(node.func)
+        if resolved is None:
+            continue
+        if resolved in _SEEDABLE_CTORS:
+            if _is_seedless_call(node):
+                yield ctx.violation(
+                    node, "R001",
+                    f"{resolved}() without a seed — nondeterministic; "
+                    f"pass an explicit seed",
+                )
+            continue
+        module, _, fn = resolved.rpartition(".")
+        if module == "random" and fn in _STDLIB_GLOBAL_FNS:
+            yield ctx.violation(
+                node, "R001",
+                f"random.{fn}() draws from the hidden global RNG; use a "
+                f"seeded random.Random instance",
+            )
+        elif module == "numpy.random" and fn in _NUMPY_GLOBAL_FNS:
+            yield ctx.violation(
+                node, "R001",
+                f"numpy.random.{fn}() uses numpy's legacy global state; "
+                f"use a seeded numpy.random.default_rng(seed) Generator",
+            )
+
+
+@rule(
+    "R002",
+    "wall-clock-read",
+    summary="clock read outside the resilience event layer",
+    invariant="No wall-clock value may influence results, event payloads "
+              "or checkpoints; elapsed-time concerns live behind the "
+              "injectable clocks in repro.resilience (docs/resilience.md).",
+)
+def check_wall_clock(ctx: FileContext) -> Iterator[Violation]:
+    if ctx.path in R002_ALLOWED_PATHS:
+        return
+    seen: Set[Tuple[int, int]] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        resolved = ctx.imports.resolve_node(node)
+        if resolved not in _CLOCK_NAMES:
+            continue
+        where = (node.lineno, node.col_offset)
+        if where in seen:
+            continue
+        seen.add(where)
+        yield ctx.violation(
+            node, "R002",
+            f"{resolved} reads the clock; results must be clock-free "
+            f"(inject a clock via repro.resilience if elapsed time is "
+            f"the point)",
+        )

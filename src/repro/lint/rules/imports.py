@@ -1,0 +1,42 @@
+"""R003: networkx is a test-only oracle, never a runtime dependency.
+
+The differential-oracle suites compare our engines against networkx,
+but the shipped package depends only on numpy/scipy — an accidental
+``import networkx`` in ``src/`` would make the oracle check circular
+and add a runtime dependency the install metadata does not declare.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import rule
+from repro.lint.violation import Violation
+
+
+@rule(
+    "R003",
+    "networkx-outside-tests",
+    summary="networkx imported in shipped code",
+    invariant="networkx is the differential-test oracle only; production "
+              "code must run on the in-repo graph engines (pyproject "
+              "declares numpy/scipy as the only runtime dependencies).",
+)
+def check_networkx_import(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names = [node.module]
+        else:
+            continue
+        for name in names:
+            if name == "networkx" or name.startswith("networkx."):
+                yield ctx.violation(
+                    node, "R003",
+                    "networkx may only be imported under tests/ (it is "
+                    "the differential oracle, not a runtime dependency)",
+                )
+                break

@@ -1,0 +1,113 @@
+"""R005/R006: mutable defaults, silent broad exception handlers.
+
+Both are classic Python hazards with project-specific teeth: a mutable
+default on a selector or executor leaks state across runs (breaking
+run-to-run determinism), and a broad ``except`` that neither re-raises
+nor reports through :mod:`repro.resilience.events` makes a failed unit
+look like a succeeded one — precisely what the resilience layer's
+auditable event stream exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import rule
+from repro.lint.violation import Violation
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray", "deque",
+                            "defaultdict", "Counter", "OrderedDict"})
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = node.func.id if isinstance(node.func, ast.Name) else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+@rule(
+    "R005",
+    "mutable-default-argument",
+    summary="mutable default argument",
+    invariant="Default argument values are shared across calls; mutable "
+              "ones accumulate state between runs and silently break the "
+              "same-seed-same-output determinism contract.",
+)
+def check_mutable_defaults(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield ctx.violation(
+                    default, "R005",
+                    f"mutable default argument in {node.name}(); use None "
+                    f"and construct inside the function",
+                )
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for t in types:
+        name = t.id if isinstance(t, ast.Name) else (
+            t.attr if isinstance(t, ast.Attribute) else ""
+        )
+        if name in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _routes_or_reraises(handler: ast.ExceptHandler) -> bool:
+    """Handler re-raises, or reports through resilience.events."""
+    for node in handler.body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call):
+                name = sub.func.id if isinstance(sub.func, ast.Name) else (
+                    sub.func.attr if isinstance(sub.func, ast.Attribute)
+                    else ""
+                )
+                if name == "log_event":
+                    return True
+    return False
+
+
+@rule(
+    "R006",
+    "swallowed-broad-except",
+    summary="broad except that neither re-raises nor logs an event",
+    invariant="Failures either stay loud (re-raise) or enter the audited "
+              "resilience event stream via log_event; a silent broad "
+              "except makes a failed unit indistinguishable from a "
+              "succeeded one (docs/resilience.md).",
+)
+def check_swallowed_except(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_broad(node) and not _routes_or_reraises(node):
+            kind = "bare except" if node.type is None else "broad except"
+            yield ctx.violation(
+                node, "R006",
+                f"{kind} swallows the failure; re-raise or route it "
+                f"through repro.resilience.events.log_event",
+            )

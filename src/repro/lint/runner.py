@@ -1,0 +1,122 @@
+"""Drive the rules over files and fold in suppressions + baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, all_rules, select_rules
+from repro.lint.suppress import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+    unjustified,
+)
+from repro.lint.violation import Violation
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    #: Violations not waived by a suppression (pre-baseline).
+    violations: List[Violation] = field(default_factory=list)
+    #: Violations not covered by the baseline either — the fatal set.
+    new_violations: List[Violation] = field(default_factory=list)
+    #: Baseline entries that matched nothing (fixed debt; strict error).
+    stale_baseline: List[tuple] = field(default_factory=list)
+    #: Suppressions missing a justification (strict error).
+    unjustified_suppressions: List[Tuple[str, Suppression]] = field(
+        default_factory=list
+    )
+    #: Files that failed to parse, as ``(path, error)`` — always fatal.
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: Number of files linted.
+    files: int = 0
+
+    def ok(self, strict: bool = False) -> bool:
+        """Whether the run passes (strict adds stale/unjustified checks)."""
+        if self.new_violations or self.parse_errors:
+            return False
+        if strict and (self.stale_baseline or self.unjustified_suppressions):
+            return False
+        return True
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; suppressions applied, no baseline.
+
+    ``path`` should be the lint-root-relative posix path — several rules
+    scope themselves by package location (e.g. R002's allowlist, R004's
+    engine exemption).
+    """
+    ctx = FileContext.parse(path, source)
+    found: List[Violation] = []
+    for r in rules if rules is not None else all_rules():
+        found.extend(r.check(ctx))
+    found.sort()
+    return apply_suppressions(found, parse_suppressions(ctx.lines))
+
+
+def _iter_python_files(root: Path) -> List[Path]:
+    if root.is_file():
+        return [root]
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def _relative_path(file: Path, root: Path) -> str:
+    base = root if root.is_dir() else root.parent
+    try:
+        return file.relative_to(base).as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    baseline: Optional[Baseline] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` and aggregate the outcome.
+
+    Each path is a lint root: rule-relevant module paths (``repro/...``)
+    are computed relative to it, so pass ``src`` (or a file inside it).
+    """
+    rules = select_rules(select) if select else all_rules()
+    result = LintResult()
+    all_violations: List[Violation] = []
+    for root in paths:
+        root = Path(root)
+        for file in _iter_python_files(root):
+            relpath = _relative_path(file, root)
+            source = file.read_text(encoding="utf-8")
+            result.files += 1
+            try:
+                ctx = FileContext.parse(relpath, source)
+            except SyntaxError as exc:
+                result.parse_errors.append((relpath, str(exc)))
+                continue
+            found: List[Violation] = []
+            for r in rules:
+                found.extend(r.check(ctx))
+            found.sort()
+            suppressions = parse_suppressions(ctx.lines)
+            all_violations.extend(apply_suppressions(found, suppressions))
+            result.unjustified_suppressions.extend(
+                (relpath, sup) for sup in unjustified(suppressions)
+            )
+    all_violations.sort()
+    result.violations = all_violations
+    baseline = baseline if baseline is not None else Baseline()
+    result.new_violations, result.stale_baseline = baseline.partition(
+        all_violations
+    )
+    return result

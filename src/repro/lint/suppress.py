@@ -1,0 +1,74 @@
+"""Inline suppressions: ``# reprolint: disable=R001[,R002] -- why``.
+
+A suppression silences the listed rule codes on its own physical line;
+a comment-only line suppresses the line directly below it, so long
+statements can carry their waiver above the code.  The text after
+``--`` (or an em-dash) is the justification; ``--strict`` requires one,
+because an unexplained waiver is just a violation wearing a disguise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.lint.violation import Violation
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+    r"(?:\s*(?:--|—|–)\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    #: 1-based line whose violations are silenced.
+    target_line: int
+    #: 1-based line the comment itself sits on.
+    comment_line: int
+    codes: tuple
+    justification: str
+
+
+def parse_suppressions(lines: Sequence[str]) -> List[Suppression]:
+    """Every suppression in a file's source lines."""
+    found: List[Suppression] = []
+    for index, raw in enumerate(lines, start=1):
+        match = _PATTERN.search(raw)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        comment_only = raw.strip().startswith("#")
+        found.append(
+            Suppression(
+                target_line=index + 1 if comment_only else index,
+                comment_line=index,
+                codes=codes,
+                justification=(match.group("why") or "").strip(),
+            )
+        )
+    return found
+
+
+def apply_suppressions(
+    violations: Sequence[Violation], suppressions: Sequence[Suppression]
+) -> List[Violation]:
+    """Drop violations waived by a matching suppression."""
+    by_line: Dict[int, set] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.target_line, set()).update(sup.codes)
+    return [
+        v
+        for v in violations
+        if v.code not in by_line.get(v.line, ())
+    ]
+
+
+def unjustified(suppressions: Sequence[Suppression]) -> List[Suppression]:
+    """Suppressions missing the ``-- why`` clause (strict-mode errors)."""
+    return [sup for sup in suppressions if not sup.justification]

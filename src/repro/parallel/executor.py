@@ -242,6 +242,7 @@ class ParallelExecutor:
                     pending[index] = pool.submit(_run_chunk, fn, chunk)
                 except (KeyboardInterrupt, SystemExit):
                     raise
+                # reprolint: disable=R006 -- routed to resilience.events: _record_failure emits a parallel.degraded log_event
                 except Exception as exc:
                     self._record_failure(index, len(chunk), exc, unit)
                     degraded.append(index)
@@ -250,6 +251,7 @@ class ParallelExecutor:
                     results[index] = pending[index].result()
                 except (KeyboardInterrupt, SystemExit):
                     raise
+                # reprolint: disable=R006 -- routed to resilience.events: _record_failure emits a parallel.degraded log_event
                 except (BrokenProcessPool, Exception) as exc:
                     self._record_failure(index, len(chunks[index]), exc, unit)
                     degraded.append(index)

@@ -118,7 +118,7 @@ class FaultInjector:
     def wrap(self, fn: Callable[..., T], unit: str = "call") -> Callable[..., T]:
         """A callable that runs the plan's check, then delegates to ``fn``."""
 
-        def wrapped(*args, **kwargs):
+        def wrapped(*args: object, **kwargs: object) -> T:
             self.check(unit)
             return fn(*args, **kwargs)
 

@@ -66,7 +66,8 @@ class _ClassifierSelector(CandidateSelector):
         from repro.ml.features import extract_node_features
 
         self._check_m(m)
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seeded default: an rng-less call must still be reproducible
+        rng = rng if rng is not None else np.random.default_rng(0)
         l = effective_num_landmarks(self.model.num_landmarks, m, tables=3)
         feats = extract_node_features(g1, g2, l, rng, budget=budget)
         matrix = self._feature_matrix(feats.matrix, g1, g2)

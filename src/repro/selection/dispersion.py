@@ -125,7 +125,8 @@ class _DispersionSelector(CandidateSelector):
         rng: Optional[np.random.Generator] = None,
     ) -> SelectionResult:
         self._check_m(m)
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seeded default: an rng-less call must still be reproducible
+        rng = rng if rng is not None else np.random.default_rng(0)
         selected, rows = greedy_dispersion(g1, m, self.mode, budget, rng)
         return SelectionResult(candidates=selected, d1_rows=rows)
 

@@ -165,7 +165,8 @@ class CoordDiffSelector(CandidateSelector):
         rng: Optional[np.random.Generator] = None,
     ) -> SelectionResult:
         self._check_m(m)
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seeded default: an rng-less call must still be reproducible
+        rng = rng if rng is not None else np.random.default_rng(0)
         l = effective_num_landmarks(self.num_landmarks, m)
         landmarks, rows1 = self._pick_landmarks(g1, l, budget, rng)
         rows2 = landmark_rows(g2, landmarks, budget, "g2")

@@ -65,7 +65,8 @@ class _HybridSelector(CandidateSelector):
         rng: Optional[np.random.Generator] = None,
     ) -> SelectionResult:
         self._check_m(m)
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seeded default: an rng-less call must still be reproducible
+        rng = rng if rng is not None else np.random.default_rng(0)
         l = effective_num_landmarks(self.num_landmarks, m)
         # Dispersion greedy: l SSSPs on G_t1, rows kept.
         landmarks, rows1 = greedy_dispersion(

@@ -163,7 +163,8 @@ class _RandomLandmarkSelector(CandidateSelector):
         rng: Optional[np.random.Generator] = None,
     ) -> SelectionResult:
         self._check_m(m)
-        rng = rng if rng is not None else np.random.default_rng()
+        # Seeded default: an rng-less call must still be reproducible
+        rng = rng if rng is not None else np.random.default_rng(0)
         l = effective_num_landmarks(self.num_landmarks, m)
         landmarks = sample_landmarks(g1, l, rng)
         rows1 = landmark_rows(g1, landmarks, budget, "g1")

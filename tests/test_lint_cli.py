@@ -1,0 +1,122 @@
+"""End-to-end tests of `repro lint` / `python -m repro.lint`."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+DIRTY = (
+    "import networkx\n"
+    "def pick(items, seen=[]):\n"
+    "    return seen\n"
+)
+
+
+def write_tree(tmp_path: Path) -> Path:
+    root = tmp_path / "proj"
+    (root / "repro").mkdir(parents=True)
+    (root / "repro" / "mod.py").write_text(DIRTY, encoding="utf-8")
+    return root
+
+
+class TestExitCodes:
+    def test_clean_repo_strict(self, capsys):
+        assert repro_main(["lint", SRC, "--strict"]) == 0
+        assert "0 new violation(s)" in capsys.readouterr().out
+
+    def test_violations_fail(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        assert lint_main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "R003" in out and "R005" in out
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        assert lint_main([str(root), "--select", "R999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestSelectAndFormat:
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        assert lint_main([str(root), "--select", "R005"]) == 1
+        out = capsys.readouterr().out
+        assert "R005" in out and "R003" not in out
+
+    def test_json_report(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        assert lint_main([str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert {v["code"] for v in payload["new_violations"]} == {
+            "R003", "R005",
+        }
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R008"):
+            assert code in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_pass_then_strict_stale(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        # Record the legacy debt.
+        assert lint_main([
+            str(root), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        # Baselined violations no longer fail the run...
+        assert lint_main([str(root), "--baseline", str(baseline)]) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
+        # ...a *new* violation still does...
+        (root / "repro" / "new.py").write_text(
+            "import networkx as nx\n", encoding="utf-8"
+        )
+        assert lint_main([str(root), "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+        (root / "repro" / "new.py").unlink()
+
+        # ...and fixing debt without refreshing the baseline trips
+        # --strict (stale entries), while the default mode still passes.
+        (root / "repro" / "mod.py").write_text(
+            "def pick(items, seen=[]):\n    return seen\n", encoding="utf-8"
+        )
+        assert lint_main([str(root), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert lint_main([
+            str(root), "--baseline", str(baseline), "--strict",
+        ]) == 1
+        assert "stale baseline" in capsys.readouterr().out
+
+        # Regenerating the baseline restores strict-green.
+        assert lint_main([
+            str(root), "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        capsys.readouterr()
+        assert lint_main([
+            str(root), "--baseline", str(baseline), "--strict",
+        ]) == 0
+
+    def test_committed_baseline_is_empty(self):
+        committed = (
+            Path(__file__).resolve().parent.parent
+            / ".reprolint-baseline.json"
+        )
+        payload = json.loads(committed.read_text(encoding="utf-8"))
+        assert payload == {"version": 1, "entries": []}

@@ -1,0 +1,383 @@
+"""reprolint rule fixtures: each rule must catch its breach and stay
+quiet on the compliant twin, suppressions must waive precisely, and the
+baseline must round-trip.  Fast suite — pure AST work, no graphs."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    Violation,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.suppress import parse_suppressions, unjustified
+
+
+def lint(code: str, path: str = "repro/example.py"):
+    return lint_source(textwrap.dedent(code), path=path)
+
+
+def codes(violations) -> list:
+    return [v.code for v in violations]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_all_eight_rules_registered():
+    assert [r.code for r in all_rules()] == [
+        "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+    ]
+    for r in all_rules():
+        assert r.invariant  # every rule documents what it protects
+
+
+def test_unknown_rule_code_raises():
+    with pytest.raises(KeyError):
+        get_rule("R999")
+
+
+# ----------------------------------------------------------------------
+# R001 — unseeded randomness
+# ----------------------------------------------------------------------
+def test_r001_flags_global_random_module():
+    found = lint("""
+        import random
+        def pick(items):
+            return random.choice(items)
+    """)
+    assert codes(found) == ["R001"]
+
+
+def test_r001_flags_unseeded_default_rng_and_alias():
+    found = lint("""
+        import numpy as np
+        rng = np.random.default_rng()
+        x = np.random.rand(3)
+    """)
+    assert codes(found) == ["R001", "R001"]
+
+
+def test_r001_passes_seeded_rng():
+    found = lint("""
+        import random
+        import numpy as np
+        rng = np.random.default_rng(42)
+        r2 = np.random.default_rng(seed)
+        r3 = random.Random(7)
+        value = rng.random()
+    """.replace("seed)", "0)"))
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# R002 — wall-clock reads
+# ----------------------------------------------------------------------
+def test_r002_flags_clock_calls_and_references():
+    found = lint("""
+        import time
+        from datetime import datetime
+        def stamp():
+            return time.time(), datetime.now()
+        DEFAULT_CLOCK = time.monotonic
+    """)
+    assert codes(found) == ["R002", "R002", "R002"]
+
+
+def test_r002_passes_injected_clock_and_allowlisted_file():
+    clean = lint("""
+        def elapsed(clock):
+            t0 = clock()
+            return clock() - t0
+    """)
+    assert clean == []
+    allowlisted = lint(
+        """
+        import time
+        def now() -> float:
+            return time.monotonic()
+        """,
+        path="repro/resilience/policy.py",
+    )
+    assert allowlisted == []
+
+
+# ----------------------------------------------------------------------
+# R003 — networkx outside tests
+# ----------------------------------------------------------------------
+def test_r003_flags_networkx_import():
+    assert codes(lint("import networkx as nx")) == ["R003"]
+    assert codes(lint("from networkx.algorithms import bipartite")) == ["R003"]
+
+
+def test_r003_passes_runtime_dependencies():
+    assert lint("import numpy\nimport scipy.sparse\n") == []
+
+
+# ----------------------------------------------------------------------
+# R004 — uncharged SSSP
+# ----------------------------------------------------------------------
+def test_r004_flags_uncharged_traversal():
+    found = lint("""
+        from repro.graph.traversal import single_source_distances
+        def distances(g, source):
+            return single_source_distances(g, source)
+    """)
+    assert codes(found) == ["R004"]
+
+
+def test_r004_passes_charging_function_and_engine_module():
+    charged = lint("""
+        from repro.graph.traversal import single_source_distances
+        def charged_row(g, source, budget):
+            budget.charge("topk", "g1", 1)
+            return single_source_distances(g, source)
+    """)
+    assert charged == []
+    engine = lint(
+        """
+        from repro.graph.traversal import bfs_distances
+        def helper(g, s):
+            return bfs_distances(g, s)
+        """,
+        path="repro/graph/landmarks.py",
+    )
+    assert engine == []
+
+
+# ----------------------------------------------------------------------
+# R005 — mutable default arguments
+# ----------------------------------------------------------------------
+def test_r005_flags_mutable_defaults():
+    found = lint("""
+        def accumulate(item, seen=[]):
+            seen.append(item)
+            return seen
+        def tally(counts={}):
+            return counts
+    """)
+    assert codes(found) == ["R005", "R005"]
+
+
+def test_r005_passes_none_and_immutable_defaults():
+    found = lint("""
+        def accumulate(item, seen=None, limit=10, name="x", pair=(1, 2)):
+            seen = [] if seen is None else seen
+            return seen
+    """)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# R006 — swallowed broad except
+# ----------------------------------------------------------------------
+def test_r006_flags_silent_broad_except():
+    found = lint("""
+        def load(path):
+            try:
+                return open(path).read()
+            except Exception:
+                return None
+    """)
+    assert codes(found) == ["R006"]
+    assert codes(lint("""
+        def load(path):
+            try:
+                return open(path).read()
+            except:
+                return None
+    """)) == ["R006"]
+
+
+def test_r006_passes_reraise_or_event_routing():
+    found = lint("""
+        from repro.resilience.events import log_event
+        def guarded(fn, unit):
+            try:
+                return fn()
+            except Exception as exc:
+                log_event("skip", unit=unit, error=type(exc).__name__)
+                return None
+        def loud(fn):
+            try:
+                return fn()
+            except Exception:
+                raise
+        def narrow(path):
+            try:
+                return open(path).read()
+            except FileNotFoundError:
+                return None
+    """)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# R007 — execution-only config in checkpoint keys
+# ----------------------------------------------------------------------
+def test_r007_flags_workers_in_key_builder():
+    found = lint("""
+        def _cell_key(config, dataset):
+            return ["cell", dataset, config.seed, config.workers]
+    """)
+    assert codes(found) == ["R007"]
+
+
+def test_r007_flags_execution_field_in_store_put():
+    found = lint("""
+        def persist(store, config, value):
+            store.put(["cell", config.max_retries], value)
+    """)
+    assert codes(found) == ["R007"]
+
+
+def test_r007_passes_value_determining_key():
+    found = lint("""
+        def _cell_key(config, dataset, delta):
+            return ["cell", dataset, delta, config.seed, config.repeats]
+        def uses_workers_elsewhere(config):
+            return config.workers * 2
+    """)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# R008 — unpicklable parallel tasks
+# ----------------------------------------------------------------------
+def test_r008_flags_lambda_task():
+    found = lint("""
+        from repro.parallel import ParallelExecutor
+        def run(items):
+            executor = ParallelExecutor(4)
+            return executor.map(lambda x: x + 1, items)
+    """)
+    assert codes(found) == ["R008"]
+
+
+def test_r008_flags_closure_task():
+    found = lint("""
+        from repro.parallel import ParallelExecutor
+        def run(items, offset):
+            def shifted(x):
+                return x + offset
+            executor = ParallelExecutor(4)
+            return executor.map(shifted, items)
+    """)
+    assert codes(found) == ["R008"]
+
+
+def test_r008_passes_module_level_task():
+    found = lint("""
+        from repro.parallel import ParallelExecutor
+        def _task(x):
+            return x + 1
+        def run(items):
+            executor = ParallelExecutor(4)
+            return executor.map(_task, items)
+    """)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_suppression_waives_only_listed_code_on_line():
+    code = """
+        import networkx  # reprolint: disable=R003 -- fixture exercising the oracle import
+    """
+    assert lint(code) == []
+    # A different rule's code does not waive it.
+    still = lint("""
+        import networkx  # reprolint: disable=R001 -- wrong code
+    """)
+    assert codes(still) == ["R003"]
+
+
+def test_suppression_comment_above_line():
+    found = lint("""
+        # reprolint: disable=R003 -- oracle import, fixture only
+        import networkx
+    """)
+    assert found == []
+
+
+def test_suppression_does_not_leak_to_other_lines():
+    found = lint("""
+        import networkx  # reprolint: disable=R003 -- first import only
+        import networkx.algorithms
+    """)
+    assert codes(found) == ["R003"]
+
+
+def test_unjustified_suppressions_detected():
+    sups = parse_suppressions([
+        "import networkx  # reprolint: disable=R003",
+        "import networkx  # reprolint: disable=R003 -- has a reason",
+    ])
+    assert len(sups) == 2
+    assert [s.comment_line for s in unjustified(sups)] == [1]
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _violation(code="R003", path="repro/x.py", line=3,
+               line_text="import networkx") -> Violation:
+    return Violation(path=path, line=line, col=0, code=code,
+                     message="m", line_text=line_text)
+
+
+def test_baseline_roundtrip_and_partition(tmp_path):
+    legacy = _violation()
+    baseline = Baseline.from_violations([legacy])
+    target = tmp_path / "baseline.json"
+    baseline.save(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries() == baseline.entries()
+
+    # Same fingerprint on a shifted line is still baselined; a new
+    # violation is not.
+    shifted = _violation(line=30)
+    fresh = _violation(path="repro/y.py")
+    new, stale = loaded.partition([shifted, fresh])
+    assert new == [fresh]
+    assert stale == []
+
+    # Fixing the legacy violation leaves a stale entry behind.
+    new, stale = loaded.partition([])
+    assert new == []
+    assert stale == [legacy.fingerprint()]
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(target)
+
+
+# ----------------------------------------------------------------------
+# Repo gate: the linter stays green on the shipped sources
+# ----------------------------------------------------------------------
+def test_repo_sources_are_lint_clean():
+    src = Path(__file__).resolve().parent.parent / "src"
+    result = lint_paths([src])
+    assert result.parse_errors == []
+    assert result.new_violations == [], "\n".join(
+        f"{v.path}:{v.line} {v.code} {v.message}"
+        for v in result.new_violations
+    )
+    # Every in-repo suppression carries a justification (strict gate).
+    assert result.unjustified_suppressions == []
