@@ -9,6 +9,9 @@ catalog, so the system is usable without writing Python::
     python -m repro truth stream.tsv --delta-offset 1
     python -m repro topk stream.tsv --selector MMSD --m 40 --k 25
     python -m repro experiment table5 --scale 0.25
+    python -m repro validate dirty.tsv
+    python -m repro sanitize dirty.tsv --out clean.tsv --quarantine-dir q/
+    python -m repro quarantine replay q/ --policy deletion=repair
 
 Graph inputs: a catalog name (``actors``, ``internet``, ``facebook``,
 ``dblp``) or a path to an edge-list file — timestamped TSV
@@ -42,6 +45,21 @@ class CLIError(Exception):
     """
 
 
+def _sniff_is_stream(path: Path) -> Optional[bool]:
+    """Whether the first data line looks timestamped-TSV.
+
+    ``None`` means the file holds no data lines at all.  Decoding is
+    lenient here — undecodable bytes are the sanitizer's problem, not
+    the sniffer's.
+    """
+    with path.open("rb") as fh:
+        for bline in fh:
+            line = bline.decode("utf-8", errors="replace").strip()
+            if line and not line.startswith("#"):
+                return len(line.split("\t")) >= 3
+    return None
+
+
 def _load_input(source: str, scale: float, seed: Optional[int]) -> TemporalGraph:
     """A catalog name or an edge-list path -> TemporalGraph."""
     if source.lower() in catalog.DATASETS:
@@ -53,20 +71,50 @@ def _load_input(source: str, scale: float, seed: Optional[int]) -> TemporalGraph
             f"({', '.join(catalog.dataset_names())}) nor an existing file"
         )
     try:
-        with path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line and not line.startswith("#"):
-                    first_data = line
-                    break
-            else:
-                raise CLIError(f"{source!r} contains no edges")
-        if len(first_data.split("\t")) >= 3:
+        is_stream = _sniff_is_stream(path)
+        if is_stream is None:
+            raise CLIError(f"{source!r} contains no edges")
+        if is_stream:
             return io.read_edge_stream(path)
         return io.read_edge_list(path)
     except (OSError, ValueError, UnicodeDecodeError) as exc:
         # Unreadable or malformed input is the user's to fix, not a bug.
         raise CLIError(f"cannot read {source!r}: {exc}") from exc
+
+
+def _parse_policies(specs) -> Optional[dict]:
+    """Repeated ``--policy rule=mode`` flags -> an overrides mapping."""
+    if not specs:
+        return None
+    overrides = {}
+    for spec in specs:
+        rule, sep, mode = spec.partition("=")
+        if not sep or not rule.strip() or not mode.strip():
+            raise CLIError(
+                f"--policy expects rule=mode (e.g. deletion=quarantine), "
+                f"got {spec!r}"
+            )
+        overrides[rule.strip()] = mode.strip()
+    return overrides
+
+
+def _read_sanitized(path: Path, sanitizer) -> TemporalGraph:
+    """Load either on-disk format through a sanitizer; errors -> CLIError."""
+    from repro.ingest import IngestError
+
+    if not path.exists():
+        raise CLIError(f"no such file: {path}")
+    try:
+        is_stream = _sniff_is_stream(path)
+        if is_stream is False:
+            return io.read_edge_list(path, sanitizer=sanitizer)
+        # Empty files go through the stream reader: zero lines, clean.
+        return io.read_edge_stream(path, sanitizer=sanitizer)
+    except OSError as exc:
+        raise CLIError(f"cannot read {path}: {exc}") from exc
+    except IngestError as exc:
+        # A strict-policy rejection: the data's problem, located.
+        raise CLIError(f"{path}: {exc}") from exc
 
 
 def _snapshots(temporal: TemporalGraph, split: float):
@@ -247,6 +295,7 @@ def cmd_monitor(args) -> int:
         retry_policy=_retry_policy(args, args.seed or 0),
         deadline_s=args.deadline_s,
         on_error=args.on_error,
+        on_invalid_window=args.on_invalid_window,
         checkpoint_store=_checkpoint_store(args),
         resume=args.resume,
     )
@@ -278,6 +327,87 @@ def cmd_monitor(args) -> int:
         "recurrently converging nodes: "
         + (", ".join(str(u) for u in movers[:10]) if movers else "none")
     )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Dry-run the sanitizer and report stream health.
+
+    Exit codes follow lint conventions: 0 = clean, 1 = issues found,
+    2 = unreadable input.
+    """
+    from repro.ingest import Sanitizer
+
+    sanitizer = Sanitizer(buffer_size=args.buffer_size)
+    _read_sanitized(Path(args.input), sanitizer)
+    report = sanitizer.report
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def cmd_sanitize(args) -> int:
+    from repro.ingest import QuarantineStore, Sanitizer
+
+    store = (
+        QuarantineStore(args.quarantine_dir)
+        if args.quarantine_dir is not None else None
+    )
+    try:
+        sanitizer = Sanitizer(
+            _parse_policies(args.policy),
+            buffer_size=args.buffer_size,
+            quarantine=store,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    temporal = _read_sanitized(Path(args.input), sanitizer)
+    io.write_edge_stream(temporal, args.out)
+    print(sanitizer.report.summary())
+    print(f"wrote {temporal.num_events} events to {args.out}")
+    if store is not None:
+        print(
+            f"quarantined {len(sanitizer.records)} record(s) "
+            f"to {args.quarantine_dir}"
+        )
+    return 0
+
+
+def cmd_quarantine(args) -> int:
+    from repro.ingest import (
+        QuarantineError,
+        QuarantineStore,
+        replay_quarantine,
+    )
+
+    if args.action == "show":
+        try:
+            run = QuarantineStore(args.dir).load()
+        except QuarantineError as exc:
+            raise CLIError(str(exc)) from None
+        print(f"source      {run.source}")
+        print(f"sha256      {run.source_sha256}")
+        print(f"buffer_size {run.buffer_size}")
+        print("policies    " + ", ".join(
+            f"{name}={mode}" for name, mode in sorted(run.policies.items())
+        ))
+        print(f"records     {len(run.records)}")
+        for rec in run.records[:args.limit]:
+            print(f"  line {rec.lineno} [{rec.rule}] {rec.reason}")
+        if len(run.records) > args.limit:
+            print(f"  ... {len(run.records) - args.limit} more")
+        return 0
+
+    # replay
+    try:
+        temporal, sanitizer = replay_quarantine(
+            args.dir, _parse_policies(args.policy)
+        )
+    except (QuarantineError, ValueError) as exc:
+        raise CLIError(str(exc)) from None
+    print(sanitizer.report.summary())
+    if args.out is not None:
+        io.write_edge_stream(temporal, args.out)
+        print(f"wrote {temporal.num_events} events to {args.out}")
     return 0
 
 
@@ -458,8 +588,63 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--selector", default="SumDiff")
     mon.add_argument("--k", type=int, default=15)
     mon.add_argument("--m", type=int, default=20)
+    mon.add_argument("--on-invalid-window",
+                     choices=("fail", "skip-and-log", "repair"),
+                     default="fail",
+                     help="what to do when a window's snapshot pair "
+                          "violates the insertion-only model (e.g. the "
+                          "stream carries a deletion): abort, skip the "
+                          "window, or repair the later snapshot")
     _add_resilience_options(mon)
     mon.set_defaults(func=cmd_monitor)
+
+    val = subs.add_parser(
+        "validate",
+        help="dry-run the stream sanitizer and report health "
+             "(exit 0 clean, 1 issues, 2 unreadable)",
+    )
+    val.add_argument("input", help="edge-stream or edge-list path")
+    val.add_argument("--buffer-size", type=int, default=64,
+                     help="timestamp reorder-buffer capacity (events)")
+    val.set_defaults(func=cmd_validate)
+
+    san = subs.add_parser(
+        "sanitize",
+        help="clean a dirty edge stream into a canonical TSV",
+    )
+    san.add_argument("input", help="edge-stream or edge-list path")
+    san.add_argument("--out", required=True, type=Path,
+                     help="where to write the sanitized stream")
+    san.add_argument("--policy", action="append", default=None,
+                     metavar="RULE=MODE",
+                     help="per-rule policy override (repeatable), e.g. "
+                          "--policy deletion=quarantine; rules: "
+                          "self-loop, deletion, weight-increase, "
+                          "duplicate, out-of-order, parse; modes: "
+                          "strict, repair, quarantine")
+    san.add_argument("--quarantine-dir", type=Path, default=None,
+                     help="persist diverted events here (atomic, "
+                          "checksummed; enables `repro quarantine`)")
+    san.add_argument("--buffer-size", type=int, default=64,
+                     help="timestamp reorder-buffer capacity (events)")
+    san.set_defaults(func=cmd_sanitize)
+
+    quar = subs.add_parser(
+        "quarantine",
+        help="inspect or replay a quarantine directory",
+    )
+    quar.add_argument("action", choices=("show", "replay"))
+    quar.add_argument("dir", type=Path,
+                      help="directory written by sanitize --quarantine-dir")
+    quar.add_argument("--policy", action="append", default=None,
+                      metavar="RULE=MODE",
+                      help="policy overrides applied over the recorded "
+                           "run configuration before replaying")
+    quar.add_argument("--out", type=Path, default=None,
+                      help="write the replayed sanitized stream here")
+    quar.add_argument("--limit", type=int, default=10,
+                      help="records to list under `show`")
+    quar.set_defaults(func=cmd_quarantine)
 
     lint = subs.add_parser(
         "lint",

@@ -32,16 +32,25 @@ from repro.core.algorithm import TopKResult, find_top_k_converging_pairs
 from repro.core.budget import SPBudget
 from repro.core.pairs import ConvergingPair
 from repro.graph.dynamic import TemporalGraph
+from repro.graph.validation import (
+    GraphValidationError,
+    check_snapshot_pair,
+    repair_snapshot_pair,
+)
 from repro.resilience import (
     CheckpointStore,
     Deadline,
     RetryPolicy,
+    describe_error,
     log_event,
     run_guarded,
 )
 from repro.selection.base import CandidateSelector
 
 Node = Hashable
+
+#: Accepted values of ``ConvergenceMonitor(on_invalid_window=...)``.
+INVALID_WINDOW_POLICIES = ("fail", "skip-and-log", "repair")
 
 
 @dataclass
@@ -152,6 +161,18 @@ class ConvergenceMonitor:
         ``"fail"`` (default) propagates a window failure; ``"skip"``
         records it on the report's ``error`` field and continues with
         the remaining windows.
+    on_invalid_window:
+        What to do when a window's snapshot pair violates the
+        insertion-only model (e.g. the stream carried a deletion event
+        that crossed a checkpoint).  ``"fail"`` (default) raises the
+        :class:`~repro.graph.validation.GraphValidationError`;
+        ``"skip-and-log"`` records it on the report and continues —
+        windows untouched by the dirt are unaffected; ``"repair"``
+        projects the later snapshot onto a valid superset of the
+        earlier one via
+        :func:`~repro.graph.validation.repair_snapshot_pair` and runs
+        on the repaired pair (logged, and checkpointed under a
+        distinct key so clean and repaired results never mix).
     checkpoint_store:
         Optional :class:`~repro.resilience.checkpoint.CheckpointStore`;
         completed windows are persisted and :meth:`run` restores them
@@ -174,6 +195,7 @@ class ConvergenceMonitor:
         retry_policy: Optional[RetryPolicy] = None,
         deadline_s: Optional[float] = None,
         on_error: str = "fail",
+        on_invalid_window: str = "fail",
         checkpoint_store: Optional[CheckpointStore] = None,
         resume: bool = True,
     ) -> None:
@@ -185,6 +207,11 @@ class ConvergenceMonitor:
             raise ValueError(
                 f"on_error must be 'fail' or 'skip', got {on_error!r}"
             )
+        if on_invalid_window not in INVALID_WINDOW_POLICIES:
+            raise ValueError(
+                "on_invalid_window must be one of "
+                f"{INVALID_WINDOW_POLICIES}, got {on_invalid_window!r}"
+            )
         self.temporal = temporal
         self.selector_factory = selector_factory
         self.k = k
@@ -193,6 +220,7 @@ class ConvergenceMonitor:
         self.retry_policy = retry_policy
         self.deadline_s = deadline_s
         self.on_error = on_error
+        self.on_invalid_window = on_invalid_window
         self.checkpoint_store = checkpoint_store
         self.resume = resume
         self._reports: List[WindowReport] = []
@@ -232,7 +260,36 @@ class ConvergenceMonitor:
     def _run_window(self, f1: float, f2: float, seed: int) -> WindowReport:
         """One window under the full resilience stack."""
         unit = f"window:{f1:g}->{f2:g}"
+        # Materialise and validate *outside* run_guarded: an invalid
+        # snapshot pair is deterministic dirt, not a transient fault —
+        # retrying it would spend attempts on a guaranteed failure, and
+        # on_error="skip" must not mask it either.
+        g1, g2 = self.temporal.snapshot_pair(f1, f2)
+        repaired = False
+        try:
+            check_snapshot_pair(g1, g2)
+        except GraphValidationError as exc:
+            if self.on_invalid_window == "fail":
+                raise
+            error = describe_error(exc)
+            if self.on_invalid_window == "skip-and-log":
+                log_event(
+                    "window.invalid", unit=unit, error=error, action="skip",
+                )
+                return WindowReport(
+                    start_fraction=f1, end_fraction=f2, error=error
+                )
+            g2, repair = repair_snapshot_pair(g1, g2)
+            repaired = True
+            log_event(
+                "window.invalid", unit=unit, error=error, action="repair",
+                detail=repair.summary(),
+            )
         key = self._window_key(f1, f2, seed)
+        if repaired:
+            # Repaired results depend on the projection, not just the
+            # stream cut — never let them shadow a clean window's entry.
+            key = key + ["repaired"]
         if self.checkpoint_store is not None and self.resume:
             payload = self.checkpoint_store.get(key)
             if payload is not None:
@@ -240,7 +297,6 @@ class ConvergenceMonitor:
                 return WindowReport.from_payload(f1, f2, payload)
 
         def compute() -> TopKResult:
-            g1, g2 = self.temporal.snapshot_pair(f1, f2)
             return find_top_k_converging_pairs(
                 g1,
                 g2,
@@ -248,7 +304,7 @@ class ConvergenceMonitor:
                 m=self.m,
                 selector=self.selector_factory(),
                 seed=seed,
-                validate=False,  # snapshots of one stream are valid by construction
+                validate=False,  # the pair was validated (or repaired) above
             )
 
         deadline = (

@@ -60,8 +60,10 @@ from repro.graph.betweenness import (
 )
 from repro.graph.validation import (
     GraphValidationError,
+    SnapshotRepair,
     check_snapshot_pair,
     check_simple,
+    repair_snapshot_pair,
 )
 
 __all__ = [
@@ -103,6 +105,8 @@ __all__ = [
     "node_betweenness",
     "approximate_edge_betweenness",
     "GraphValidationError",
+    "SnapshotRepair",
     "check_snapshot_pair",
     "check_simple",
+    "repair_snapshot_pair",
 ]

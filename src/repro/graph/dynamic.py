@@ -12,6 +12,17 @@ Because the stream is insertion-only, any two snapshots ``G_t1``/``G_t2``
 with ``t1 <= t2`` automatically satisfy the subgraph relation the problem
 definition requires, and distances can only decrease from ``G_t1`` to
 ``G_t2``.
+
+Real-world temporal dumps are *not* always insertion-only: unfollows and
+withdrawals show up as zero- or negative-weight rows.  The stream layer
+represents such a row as an :class:`EdgeEvent` with ``weight <= 0`` (see
+:attr:`EdgeEvent.is_deletion`) and materialisation applies it — the edge,
+if present, is removed from the snapshot.  A stream containing deletions
+therefore materialises without crashing, but its snapshot pairs can
+violate the subgraph relation; that is exactly what
+:func:`repro.graph.validation.check_snapshot_pair` exists to catch, and
+what the ingestion layer (:mod:`repro.ingest`) repairs or quarantines at
+the boundary.
 """
 
 from __future__ import annotations
@@ -41,6 +52,15 @@ class EdgeEvent:
     def endpoints(self) -> Tuple[Node, Node]:
         """The pair ``(u, v)`` of this event."""
         return (self.u, self.v)
+
+    @property
+    def is_deletion(self) -> bool:
+        """True if this event *removes* its edge (``weight <= 0``).
+
+        The paper's model is insertion-only; deletion events only appear
+        when a dirty real-world stream is loaded without sanitization.
+        """
+        return self.weight <= 0
 
 
 class TemporalGraph:
@@ -177,6 +197,12 @@ class TemporalGraph:
         self._ensure_sorted()
         g = Graph()
         for ev in self._events[:cut]:
+            if ev.is_deletion:
+                # Deletion events remove the edge if present (endpoints
+                # stay, possibly isolated) and never add anything.
+                if g.has_edge(ev.u, ev.v):
+                    g.remove_edge(ev.u, ev.v)
+                continue
             # Re-insertions of an existing edge are tolerated (real edge
             # streams contain repeated interactions); the simple graph
             # keeps one edge and the latest weight.

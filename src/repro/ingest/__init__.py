@@ -1,0 +1,67 @@
+"""Hardened data boundary: stream sanitization, quarantine, replay.
+
+Real counterparts of the paper's datasets (IMDB, AS links, Facebook,
+DBLP) are dirty: duplicated edges, self loops, out-of-order timestamps,
+weight glitches, even deletion events.  This package cleans such streams
+*before* they reach :class:`~repro.graph.dynamic.TemporalGraph`:
+
+* :mod:`repro.ingest.rules` — the deterministic rule catalog
+  (``self-loop``, ``deletion``, ``weight-increase``, ``duplicate``,
+  ``out-of-order``, plus the line-level ``parse``), each under a
+  ``strict`` / ``repair`` / ``quarantine`` policy;
+* :mod:`repro.ingest.sanitizer` — :class:`Sanitizer`, the streaming
+  chain with a bounded timestamp-reorder buffer;
+* :mod:`repro.ingest.quarantine` — :class:`QuarantineStore`, atomic and
+  checksummed capture of diverted events with full provenance;
+* :mod:`repro.ingest.replay` — :func:`replay_quarantine`, re-driving a
+  recorded run under a changed policy (checksum-verified, byte-exact);
+* :mod:`repro.ingest.report` — :class:`StreamHealthReport`, the typed
+  per-rule counters behind ``repro validate`` and the ``ingest.health``
+  resilience event.
+
+Wiring: ``read_edge_stream(..., sanitizer=...)`` /
+``read_edge_list(..., sanitizer=...)`` in :mod:`repro.datasets.io`, and
+the ``repro validate`` / ``repro sanitize`` / ``repro quarantine`` CLI
+subcommands.  See the "Ingesting dirty real-world streams" section of
+``docs/datasets.md``.
+"""
+
+from repro.ingest.quarantine import (
+    QuarantineRecord,
+    QuarantineRun,
+    QuarantineStore,
+)
+from repro.ingest.replay import replay_quarantine
+from repro.ingest.report import MAX_ERROR_CATEGORIES, StreamHealthReport
+from repro.ingest.rules import (
+    DEFAULT_POLICIES,
+    PARSE_RULE,
+    POLICIES,
+    RULE_CHAIN,
+    RULE_NAMES,
+    IngestError,
+    QuarantineError,
+    SanitizationError,
+    check_policies,
+)
+from repro.ingest.sanitizer import DEFAULT_BUFFER_SIZE, Sanitizer
+
+__all__ = [
+    "DEFAULT_BUFFER_SIZE",
+    "DEFAULT_POLICIES",
+    "MAX_ERROR_CATEGORIES",
+    "PARSE_RULE",
+    "POLICIES",
+    "RULE_CHAIN",
+    "RULE_NAMES",
+    "IngestError",
+    "QuarantineError",
+    "QuarantineRecord",
+    "QuarantineRun",
+    "QuarantineStore",
+    "SanitizationError",
+    "Sanitizer",
+    "StreamHealthReport",
+    "check_policies",
+    "replay_quarantine",
+]

@@ -1,0 +1,253 @@
+"""Atomic, checksummed capture of events the sanitizer diverted.
+
+A :class:`QuarantineStore` is a directory holding one sanitization run's
+rejected material plus enough provenance to audit and *replay* it:
+
+* ``records.jsonl`` — one JSON object per quarantined event (or
+  unparseable line) with rule, reason, source line number, arrival
+  index, and the raw line text;
+* ``manifest.json`` — schema version, the source file's path and
+  SHA-256, the full policy configuration and buffer size of the run,
+  and the SHA-256 of the records blob.
+
+Both files are written with the same torn-write discipline as
+:class:`~repro.resilience.checkpoint.CheckpointStore` (temp file in the
+same directory, fsync, ``os.replace``), and :meth:`QuarantineStore.load`
+verifies the schema and records checksum — a damaged store raises
+:class:`~repro.ingest.rules.QuarantineError` instead of replaying
+corrupt provenance.
+
+Replay (:func:`~repro.ingest.replay.replay_quarantine`) re-drives
+ingestion from the recorded source under a changed policy; the manifest's
+source checksum is what makes that exact — replay refuses to run if the
+source bytes changed since the quarantine was written.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.ingest.rules import QuarantineError
+
+PathLike = Union[str, Path]
+
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+RECORDS_NAME = "records.jsonl"
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON-native scalars pass through; exotic node ids become reprs."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def sha256_bytes(blob: bytes) -> str:
+    """Hex SHA-256 of a byte string."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+def sha256_file(path: PathLike) -> str:
+    """Hex SHA-256 of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One diverted event (or unparseable line) with full provenance."""
+
+    rule: str
+    reason: str
+    seq: int
+    lineno: int
+    raw: str
+    time: Optional[float] = None
+    u: Any = None
+    v: Any = None
+    weight: Optional[float] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-stable form (one ``records.jsonl`` row)."""
+        return {
+            "rule": self.rule,
+            "reason": self.reason,
+            "seq": self.seq,
+            "lineno": self.lineno,
+            "raw": self.raw,
+            "time": self.time,
+            "u": _jsonable(self.u),
+            "v": _jsonable(self.v),
+            "weight": self.weight,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "QuarantineRecord":
+        """Rebuild a record from a ``records.jsonl`` row."""
+        return cls(
+            rule=payload["rule"],
+            reason=payload["reason"],
+            seq=payload["seq"],
+            lineno=payload["lineno"],
+            raw=payload["raw"],
+            time=payload.get("time"),
+            u=payload.get("u"),
+            v=payload.get("v"),
+            weight=payload.get("weight"),
+        )
+
+
+@dataclass(frozen=True)
+class QuarantineRun:
+    """A loaded (and checksum-verified) quarantine directory."""
+
+    source: str
+    source_sha256: str
+    policies: Dict[str, str]
+    buffer_size: int
+    records: List[QuarantineRecord]
+
+
+class QuarantineStore:
+    """One sanitization run's quarantine directory.
+
+    Parameters
+    ----------
+    directory:
+        Created (with parents) if absent.  One run per directory: a
+        :meth:`save` replaces any previous run's files atomically.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the run manifest."""
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def records_path(self) -> Path:
+        """Path of the records file."""
+        return self.directory / RECORDS_NAME
+
+    def exists(self) -> bool:
+        """Whether a saved run is present."""
+        return self.manifest_path.exists()
+
+    # ------------------------------------------------------------------
+    def _write_atomic(self, path: Path, blob: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with tmp.open("wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def save(
+        self,
+        records: List[QuarantineRecord],
+        *,
+        source: str,
+        source_sha256: str,
+        policies: Dict[str, str],
+        buffer_size: int,
+    ) -> None:
+        """Atomically persist one run (records first, manifest last).
+
+        The manifest embeds the records blob's checksum, so a crash
+        between the two writes leaves a manifest that still describes a
+        complete, matching records file (the previous run's, if any,
+        until the new manifest lands).
+        """
+        rows = [
+            json.dumps(rec.to_payload(), sort_keys=True,
+                       separators=(",", ":"))
+            for rec in records
+        ]
+        blob = ("\n".join(rows) + "\n").encode("utf-8") if rows else b""
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "source": source,
+            "source_sha256": source_sha256,
+            "policies": dict(sorted(policies.items())),
+            "buffer_size": buffer_size,
+            "record_count": len(records),
+            "records_sha256": sha256_bytes(blob),
+        }
+        self._write_atomic(self.records_path, blob)
+        self._write_atomic(
+            self.manifest_path,
+            json.dumps(manifest, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+    def load(self) -> QuarantineRun:
+        """The saved run, with schema and checksum verified.
+
+        Raises
+        ------
+        QuarantineError
+            If no run was saved here, or either file is unreadable,
+            schema-mismatched, or fails its checksum.
+        """
+        if not self.manifest_path.exists():
+            raise QuarantineError(
+                f"no quarantine run in {self.directory} "
+                f"(missing {MANIFEST_NAME})"
+            )
+        try:
+            manifest = json.loads(
+                self.manifest_path.read_text(encoding="utf-8")
+            )
+        except (ValueError, OSError) as exc:
+            raise QuarantineError(
+                f"unreadable quarantine manifest: {exc}"
+            ) from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("schema") != SCHEMA_VERSION
+        ):
+            raise QuarantineError(
+                f"quarantine manifest schema mismatch in {self.directory}"
+            )
+        try:
+            blob = self.records_path.read_bytes()
+        except OSError as exc:
+            raise QuarantineError(
+                f"unreadable quarantine records: {exc}"
+            ) from exc
+        if sha256_bytes(blob) != manifest.get("records_sha256"):
+            raise QuarantineError(
+                f"quarantine records checksum mismatch in {self.directory} "
+                "(the records file was modified or torn)"
+            )
+        records = [
+            QuarantineRecord.from_payload(json.loads(row))
+            for row in blob.decode("utf-8").splitlines()
+            if row.strip()
+        ]
+        if len(records) != manifest.get("record_count"):
+            raise QuarantineError(
+                f"quarantine record count mismatch in {self.directory}"
+            )
+        return QuarantineRun(
+            source=manifest["source"],
+            source_sha256=manifest["source_sha256"],
+            policies=dict(manifest["policies"]),
+            buffer_size=int(manifest["buffer_size"]),
+            records=records,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuarantineStore({str(self.directory)!r})"

@@ -1,0 +1,88 @@
+"""Replay a quarantined run under a changed policy.
+
+The quarantine manifest pins the run's *entire* identity: the source
+file's path and SHA-256, the policy configuration, and the reorder
+buffer size.  :func:`replay_quarantine` re-drives ingestion from that
+source with policy overrides applied — after verifying the source bytes
+are unchanged — so the result is exactly (byte-for-byte) what direct
+ingestion under the new policy would have produced.  Switching a rule
+from ``quarantine`` to ``repair`` and replaying is therefore equivalent
+to having ingested with ``repair`` in the first place, which is the
+contract the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional, Tuple, Union
+
+from repro.graph.dynamic import TemporalGraph
+from repro.ingest.quarantine import (
+    QuarantineStore,
+    sha256_file,
+)
+from repro.ingest.rules import QuarantineError, check_policies
+from repro.ingest.sanitizer import Sanitizer
+
+PathLike = Union[str, Path]
+
+
+def replay_quarantine(
+    directory: PathLike,
+    policy_overrides: Optional[Mapping[str, str]] = None,
+    *,
+    quarantine: Optional[QuarantineStore] = None,
+) -> Tuple[TemporalGraph, Sanitizer]:
+    """Re-ingest a quarantined run's source under overridden policies.
+
+    Parameters
+    ----------
+    directory:
+        A directory previously written by a sanitized read with a
+        :class:`~repro.ingest.quarantine.QuarantineStore` attached.
+    policy_overrides:
+        ``rule -> policy`` changes applied over the run's recorded
+        configuration (e.g. ``{"deletion": "repair"}``).
+    quarantine:
+        Optional store for the *replayed* run's own diverted records
+        (use a different directory than ``directory``).
+
+    Returns
+    -------
+    (TemporalGraph, Sanitizer)
+        The re-ingested stream and the spent sanitizer (its ``report``
+        and ``records`` describe the replay).
+
+    Raises
+    ------
+    QuarantineError
+        If the store is missing/corrupt, the recorded source no longer
+        exists, or the source bytes changed since the quarantine was
+        written (checksum mismatch) — a replay over different bytes
+        would not be a replay.
+    """
+    store = QuarantineStore(directory)
+    run = store.load()
+    policies = check_policies(policy_overrides, base=run.policies)
+    source = Path(run.source)
+    if not source.exists():
+        raise QuarantineError(
+            f"quarantined source {run.source!r} no longer exists; "
+            "replay needs the original stream bytes"
+        )
+    actual_sha = sha256_file(source)
+    if actual_sha != run.source_sha256:
+        raise QuarantineError(
+            f"quarantined source {run.source!r} changed since the run "
+            f"was recorded (sha256 {actual_sha[:12]}… != "
+            f"{run.source_sha256[:12]}…); refusing to replay"
+        )
+    sanitizer = Sanitizer(
+        policies, buffer_size=run.buffer_size, quarantine=quarantine
+    )
+    # Imported here: datasets.io type-references the sanitizer, so a
+    # module-level import would be circular.
+    from repro.datasets.io import read_edge_stream
+
+    temporal = read_edge_stream(source, sanitizer=sanitizer)
+    return temporal, sanitizer

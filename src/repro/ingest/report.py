@@ -1,0 +1,168 @@
+"""Typed per-rule health counters for one sanitization pass.
+
+:class:`StreamHealthReport` is the auditable summary of everything the
+:class:`~repro.ingest.sanitizer.Sanitizer` did to a stream: how many
+lines were seen and parsed, how many events each rule repaired, dropped,
+or quarantined, and how many lines failed to parse (by bounded
+category).  It replaces the ad-hoc ``ReadStats`` for sanitized reads —
+the same counters back the ``repro validate`` output, the
+``ingest.health`` resilience event, and the golden-file determinism
+tests, so one pass produces one authoritative record.
+
+The report is a pure value: same input bytes + same policy config
+produce an identical payload (:meth:`StreamHealthReport.to_payload` is
+sorted and JSON-stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.resilience import log_event
+
+#: Cap on distinct parse-error categories kept (overflow lands in
+#: ``"other"``) so a pathological file cannot balloon the report.
+MAX_ERROR_CATEGORIES = 8
+
+#: Overflow bucket for parse-error categories past the cap.
+OVERFLOW_CATEGORY = "other"
+
+
+def bump_bounded(counts: Dict[str, int], key: str,
+                 cap: int = MAX_ERROR_CATEGORIES) -> None:
+    """Increment ``counts[key]``, folding new keys past ``cap`` into
+    :data:`OVERFLOW_CATEGORY`."""
+    if key not in counts and len(counts) >= cap:
+        key = OVERFLOW_CATEGORY
+    counts[key] = counts.get(key, 0) + 1
+
+
+@dataclass
+class StreamHealthReport:
+    """Counters from one sanitization pass, keyed by rule.
+
+    Attributes
+    ----------
+    lines:
+        Data lines seen (blank lines and ``#`` comments excluded).
+    parsed:
+        Lines that parsed into an edge event.
+    emitted:
+        Events admitted into the sanitized stream.
+    malformed:
+        Lines that failed to parse (see ``parse_errors`` for the
+        bounded per-category breakdown).
+    repaired:
+        ``rule -> count`` of events modified and kept (timestamp
+        clamp/reorder, weight clamp).
+    dropped:
+        ``rule -> count`` of events removed by a ``repair`` policy
+        (duplicate collapse, self-loop drop, deletion drop).
+    quarantined:
+        ``rule -> count`` of events (or malformed lines) diverted by a
+        ``quarantine`` policy.
+    parse_errors:
+        Bounded ``category -> count`` of parse failures (``fields``,
+        ``time``, ``weight``, ``node``, ``encoding``, ...).
+    """
+
+    source: str = ""
+    lines: int = 0
+    parsed: int = 0
+    emitted: int = 0
+    malformed: int = 0
+    repaired: Dict[str, int] = field(default_factory=dict)
+    dropped: Dict[str, int] = field(default_factory=dict)
+    quarantined: Dict[str, int] = field(default_factory=dict)
+    parse_errors: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_repair(self, rule: str) -> None:
+        """Count one event modified (and kept) by ``rule``."""
+        bump_bounded(self.repaired, rule)
+
+    def record_drop(self, rule: str) -> None:
+        """Count one event removed by ``rule`` under ``repair``."""
+        bump_bounded(self.dropped, rule)
+
+    def record_quarantine(self, rule: str) -> None:
+        """Count one event (or line) diverted by ``rule``."""
+        bump_bounded(self.quarantined, rule)
+
+    def record_parse_error(self, category: str) -> None:
+        """Count one malformed line of the given bounded ``category``."""
+        self.malformed += 1
+        bump_bounded(self.parse_errors, category)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total_issues(self) -> int:
+        """Total rule firings (repairs + drops + quarantines + parse)."""
+        return (
+            self.malformed
+            + sum(self.repaired.values())
+            + sum(self.dropped.values())
+            + sum(self.quarantined.values())
+        )
+
+    @property
+    def clean(self) -> bool:
+        """Whether the stream passed every rule untouched."""
+        return self.total_issues() == 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-stable form (sorted sub-dicts) for events and goldens."""
+        return {
+            "source": self.source,
+            "lines": self.lines,
+            "parsed": self.parsed,
+            "emitted": self.emitted,
+            "malformed": self.malformed,
+            "repaired": dict(sorted(self.repaired.items())),
+            "dropped": dict(sorted(self.dropped.items())),
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "parse_errors": dict(sorted(self.parse_errors.items())),
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (the ``repro validate`` body)."""
+        out = [
+            f"lines     {self.lines}",
+            f"parsed    {self.parsed}",
+            f"emitted   {self.emitted}",
+            f"malformed {self.malformed}"
+            + (f"  ({_render(self.parse_errors)})" if self.parse_errors else ""),
+        ]
+        for label, counts in (
+            ("repaired", self.repaired),
+            ("dropped", self.dropped),
+            ("quarantined", self.quarantined),
+        ):
+            if counts:
+                out.append(f"{label:<9} {sum(counts.values())}  ({_render(counts)})")
+        out.append("status    " + ("clean" if self.clean else
+                                   f"{self.total_issues()} issue(s)"))
+        return "\n".join(out)
+
+    def emit(self) -> None:
+        """Report the pass through the resilience event stream."""
+        log_event(
+            "ingest.health",
+            source=self.source,
+            lines=self.lines,
+            parsed=self.parsed,
+            emitted=self.emitted,
+            malformed=self.malformed,
+            repaired=sum(self.repaired.values()),
+            dropped=sum(self.dropped.values()),
+            quarantined=sum(self.quarantined.values()),
+            clean=self.clean,
+        )
+
+
+def _render(counts: Dict[str, int]) -> str:
+    return ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))

@@ -1,0 +1,317 @@
+"""The sanitization rules and their per-rule policies.
+
+Each rule detects one way a real-world edge stream violates the paper's
+clean insertion-only model (``G_t1 ⊆ G_t2``, simple graph, non-increasing
+weights, monotone timestamps) and knows how to *repair* the offending
+event when asked.  Policy is per rule:
+
+* ``strict`` — raise :class:`SanitizationError` at the first offence;
+* ``repair`` — fix (or drop) the event deterministically and count it;
+* ``quarantine`` — divert the original event to the quarantine store.
+
+Rules run in the fixed, documented order of :data:`RULE_CHAIN`:
+``self-loop`` → ``deletion`` → ``weight-increase`` → ``duplicate`` →
+``out-of-order``.  The order matters for events that offend twice (a
+re-observed edge with a heavier weight is first clamped by
+``weight-increase``, then collapsed by ``duplicate``), and it is part of
+the determinism contract: same bytes + same policies ⇒ same decisions.
+
+The pseudo-rule ``parse`` covers lines that never became events
+(malformed fields, bad numbers, undecodable bytes); it supports only
+``strict`` and ``quarantine`` because there is nothing to repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+Node = Hashable
+
+#: Policy names, in documentation order.
+POLICIES = ("strict", "repair", "quarantine")
+
+#: Event-level rules, in the order the chain applies them.
+RULE_CHAIN = (
+    "self-loop",
+    "deletion",
+    "weight-increase",
+    "duplicate",
+    "out-of-order",
+)
+
+#: The line-level pseudo-rule for unparseable input.
+PARSE_RULE = "parse"
+
+#: Every configurable rule name.
+RULE_NAMES = RULE_CHAIN + (PARSE_RULE,)
+
+#: Default policy per rule: repair everything repairable, quarantine the
+#: unparseable — a sanitized read never crashes on dirty data unless the
+#: caller opts into ``strict``.
+DEFAULT_POLICIES: Dict[str, str] = {
+    **{name: "repair" for name in RULE_CHAIN},
+    PARSE_RULE: "quarantine",
+}
+
+
+class IngestError(ValueError):
+    """Base error of the ingestion layer (a :class:`ValueError`)."""
+
+
+class SanitizationError(IngestError):
+    """A rule in ``strict`` policy rejected the stream.
+
+    Attributes
+    ----------
+    rule:
+        The offending rule's name.
+    lineno:
+        1-based source line (0 for programmatic events).
+    """
+
+    def __init__(self, rule: str, lineno: int, message: str) -> None:
+        location = f"line {lineno}: " if lineno else ""
+        super().__init__(f"{location}[{rule}] {message}")
+        self.rule = rule
+        self.lineno = lineno
+
+
+class QuarantineError(IngestError):
+    """A quarantine store is unreadable, corrupt, or unreplayable."""
+
+
+def check_policies(
+    policies: Optional[Mapping[str, str]],
+    base: Optional[Mapping[str, str]] = None,
+) -> Dict[str, str]:
+    """Merge ``policies`` over ``base`` (default
+    :data:`DEFAULT_POLICIES`), validating names.
+
+    Unknown rule names and unknown policy modes raise ``ValueError``;
+    ``parse`` additionally rejects ``repair`` (an unparseable line has
+    nothing to repair).
+    """
+    merged = dict(DEFAULT_POLICIES if base is None else base)
+    for name, mode in (policies or {}).items():
+        if name not in RULE_NAMES:
+            raise ValueError(
+                f"unknown sanitizer rule {name!r}; "
+                f"known rules: {', '.join(RULE_NAMES)}"
+            )
+        if mode not in POLICIES:
+            raise ValueError(
+                f"policy for {name!r} must be one of {POLICIES}, "
+                f"got {mode!r}"
+            )
+        if name == PARSE_RULE and mode == "repair":
+            raise ValueError(
+                "the 'parse' rule cannot repair (a line that failed to "
+                "parse has no event to fix); use 'strict' or 'quarantine'"
+            )
+        merged[name] = mode
+    return merged
+
+
+@dataclass(frozen=True)
+class ParsedEvent:
+    """One parsed edge event with source provenance.
+
+    ``seq`` is the 0-based arrival index among parsed events (stateful
+    rules operate in arrival order); ``lineno`` is the 1-based source
+    line (0 for programmatic feeds); ``raw`` is the original line text.
+    """
+
+    time: float
+    u: Node
+    v: Node
+    weight: float
+    seq: int = 0
+    lineno: int = 0
+    raw: str = ""
+
+    def replaced(self, *, time: Optional[float] = None,
+                 weight: Optional[float] = None) -> "ParsedEvent":
+        """A copy with the repaired ``time`` and/or ``weight``."""
+        return ParsedEvent(
+            time=self.time if time is None else time,
+            u=self.u,
+            v=self.v,
+            weight=self.weight if weight is None else weight,
+            seq=self.seq,
+            lineno=self.lineno,
+            raw=self.raw,
+        )
+
+
+@dataclass
+class StreamState:
+    """Mutable cross-event state the rules consult.
+
+    ``seen`` maps each canonical edge to the weight of its *first
+    admitted* observation; ``max_arrival_time`` is the largest timestamp
+    that has arrived so far; ``last_emitted_time`` is the timestamp of
+    the last event released from the reorder buffer (events below it can
+    no longer be reordered, only clamped).
+    """
+
+    seen: Dict[Tuple[Node, Node], float]
+    max_arrival_time: float
+    last_emitted_time: float
+
+    @classmethod
+    def fresh(cls) -> "StreamState":
+        """The state before any event has been fed."""
+        return cls(
+            seen={},
+            max_arrival_time=float("-inf"),
+            last_emitted_time=float("-inf"),
+        )
+
+
+def canonical_edge(u: Node, v: Node) -> Tuple[Node, Node]:
+    """Order-insensitive identity of the undirected edge ``{u, v}``.
+
+    Node ids of one stream are homogeneous in practice (all ints or all
+    strings); mixed types fall back to ``(type, repr)`` ordering so the
+    result stays deterministic without comparing unlike types.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        ku = (type(u).__name__, repr(u))
+        kv = (type(v).__name__, repr(v))
+        return (u, v) if ku <= kv else (v, u)
+
+
+class SelfLoopRule:
+    """``u == v`` — meaningless for shortest paths; repair drops it."""
+
+    name = "self-loop"
+
+    def offends(self, event: ParsedEvent, state: StreamState) -> Optional[str]:
+        """The offence description, or ``None`` if the event is clean."""
+        if event.u == event.v:
+            return f"self loop at node {event.u!r}"
+        return None
+
+    def repair(self, event: ParsedEvent,
+               state: StreamState) -> Optional[ParsedEvent]:
+        """Drop the event (a simple graph has no self loops)."""
+        return None
+
+
+class DeletionRule:
+    """Non-positive weight marks an edge *deletion* event.
+
+    Real temporal dumps encode unfollows/withdrawals as zero- or
+    negative-weight rows; the paper's model is insertion-only, so repair
+    drops the deletion (keeping the stream growth-only).
+    """
+
+    name = "deletion"
+
+    def offends(self, event: ParsedEvent, state: StreamState) -> Optional[str]:
+        """The offence description, or ``None`` if the event is clean."""
+        if event.weight <= 0:
+            return (
+                f"deletion event (weight {event.weight:g}) for edge "
+                f"({event.u!r}, {event.v!r}); the model is insertion-only"
+            )
+        return None
+
+    def repair(self, event: ParsedEvent,
+               state: StreamState) -> Optional[ParsedEvent]:
+        """Drop the deletion event."""
+        return None
+
+
+class WeightIncreaseRule:
+    """A re-observed edge got *heavier* — distances could increase.
+
+    Repair clamps the weight down to the first observed weight (the one
+    snapshot materialisation keeps), restoring the non-increasing-weight
+    contract; the event then continues into the ``duplicate`` rule.
+    """
+
+    name = "weight-increase"
+
+    def offends(self, event: ParsedEvent, state: StreamState) -> Optional[str]:
+        """The offence description, or ``None`` if the event is clean."""
+        first = state.seen.get(canonical_edge(event.u, event.v))
+        if first is not None and event.weight > first:
+            return (
+                f"edge ({event.u!r}, {event.v!r}) weight increased "
+                f"{first:g} -> {event.weight:g}"
+            )
+        return None
+
+    def repair(self, event: ParsedEvent,
+               state: StreamState) -> Optional[ParsedEvent]:
+        """Clamp the weight to the first observation's."""
+        first = state.seen[canonical_edge(event.u, event.v)]
+        return event.replaced(weight=first)
+
+
+class DuplicateRule:
+    """A re-observation of an already admitted edge; repair collapses it.
+
+    The first admitted observation wins (matching
+    ``TemporalGraph._materialise``, which keeps the first weight).
+    """
+
+    name = "duplicate"
+
+    def offends(self, event: ParsedEvent, state: StreamState) -> Optional[str]:
+        """The offence description, or ``None`` if the event is clean."""
+        if canonical_edge(event.u, event.v) in state.seen:
+            return f"duplicate edge ({event.u!r}, {event.v!r})"
+        return None
+
+    def repair(self, event: ParsedEvent,
+               state: StreamState) -> Optional[ParsedEvent]:
+        """Drop the re-observation."""
+        return None
+
+
+class OutOfOrderRule:
+    """The timestamp went backwards relative to earlier arrivals.
+
+    Repair reorders the event through the sanitizer's bounded buffer
+    when it still fits (its time is not below the last *emitted* time),
+    and otherwise clamps its timestamp up to the last emitted time — the
+    bounded-buffer guarantee is what keeps memory constant on arbitrarily
+    disordered streams.
+    """
+
+    name = "out-of-order"
+
+    def offends(self, event: ParsedEvent, state: StreamState) -> Optional[str]:
+        """The offence description, or ``None`` if the event is clean."""
+        if event.time < state.max_arrival_time:
+            return (
+                f"timestamp {event.time:g} arrived after "
+                f"{state.max_arrival_time:g}"
+            )
+        return None
+
+    def repair(self, event: ParsedEvent,
+               state: StreamState) -> Optional[ParsedEvent]:
+        """Reorder within the buffer, or clamp past its horizon."""
+        if event.time < state.last_emitted_time:
+            return event.replaced(time=state.last_emitted_time)
+        return event
+
+
+def build_chain() -> Tuple[
+    SelfLoopRule, DeletionRule, WeightIncreaseRule, DuplicateRule,
+    OutOfOrderRule,
+]:
+    """Fresh rule instances in :data:`RULE_CHAIN` order."""
+    return (
+        SelfLoopRule(),
+        DeletionRule(),
+        WeightIncreaseRule(),
+        DuplicateRule(),
+        OutOfOrderRule(),
+    )

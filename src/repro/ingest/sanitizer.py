@@ -1,0 +1,281 @@
+"""The streaming sanitization pipeline.
+
+:class:`Sanitizer` sits between a raw edge source (a TSV file, a
+programmatic event feed) and :class:`~repro.graph.dynamic.TemporalGraph`
+construction.  Events are fed in arrival order; each passes through the
+rule chain (:data:`~repro.ingest.rules.RULE_CHAIN`) under its per-rule
+policy, then through a bounded min-heap reorder buffer that absorbs
+non-monotone timestamps, and comes out as a clean, time-sorted,
+insertion-only stream the rest of the library can trust.
+
+Everything is deterministic: no randomness, no clock reads — the
+emitted stream, the :class:`~repro.ingest.report.StreamHealthReport`,
+and the quarantine records are pure functions of the input bytes and the
+policy configuration.  That is what makes the quarantine *replayable*
+and the golden-file tests byte-exact.
+
+Typical file usage goes through :func:`repro.datasets.io.read_edge_stream`::
+
+    from repro.datasets.io import read_edge_stream
+    from repro.ingest import QuarantineStore, Sanitizer
+
+    sanitizer = Sanitizer({"deletion": "quarantine"},
+                          quarantine=QuarantineStore("runs/q"))
+    temporal = read_edge_stream("dirty.tsv", sanitizer=sanitizer)
+    print(sanitizer.report.summary())
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.graph.dynamic import EdgeEvent
+from repro.ingest.quarantine import QuarantineRecord, QuarantineStore
+from repro.ingest.report import StreamHealthReport
+from repro.ingest.rules import (
+    PARSE_RULE,
+    IngestError,
+    Node,
+    ParsedEvent,
+    SanitizationError,
+    StreamState,
+    build_chain,
+    canonical_edge,
+    check_policies,
+)
+
+#: Default reorder-buffer capacity: how far (in events) a timestamp may
+#: arrive late and still be reordered instead of clamped.
+DEFAULT_BUFFER_SIZE = 64
+
+#: Heap entries order by ``(time, seq)`` — stable for equal timestamps.
+_HeapEntry = Tuple[float, int, ParsedEvent]
+
+_FeedItem = Union[EdgeEvent, Sequence[object]]
+
+
+class Sanitizer:
+    """A composable, policy-driven cleaning pass over an edge stream.
+
+    Parameters
+    ----------
+    policies:
+        Optional ``rule -> policy`` overrides merged over
+        :data:`~repro.ingest.rules.DEFAULT_POLICIES` (repair everything,
+        quarantine unparseable lines).  See
+        :data:`~repro.ingest.rules.RULE_NAMES` for the rule catalog and
+        :data:`~repro.ingest.rules.POLICIES` for the modes.
+    buffer_size:
+        Reorder-buffer capacity (events).  Larger buffers repair deeper
+        timestamp disorder at the cost of memory; ``0`` disables
+        reordering entirely (every late timestamp is clamped).
+    quarantine:
+        Optional :class:`~repro.ingest.quarantine.QuarantineStore`; when
+        configured, :meth:`finalize` persists every diverted record with
+        the run's policy config and source checksum so the run can be
+        audited and replayed.
+
+    One instance sanitizes one stream; feed events in arrival order,
+    then :meth:`flush` and :meth:`finalize`.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[Mapping[str, str]] = None,
+        *,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+        quarantine: Optional[QuarantineStore] = None,
+    ) -> None:
+        if buffer_size < 0:
+            raise ValueError(
+                f"buffer_size must be >= 0, got {buffer_size}"
+            )
+        self.policies = check_policies(policies)
+        self.buffer_size = buffer_size
+        self.quarantine = quarantine
+        self.report = StreamHealthReport()
+        self.records: List[QuarantineRecord] = []
+        self._chain = build_chain()
+        self._state = StreamState.fresh()
+        self._buffer: List[_HeapEntry] = []
+        self._seq = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(
+        self,
+        time: float,
+        u: Node,
+        v: Node,
+        weight: float = 1.0,
+        *,
+        lineno: int = 0,
+        raw: str = "",
+    ) -> List[EdgeEvent]:
+        """Process one arrived event; returns the events emitted *now*.
+
+        Emission lags arrival by up to ``buffer_size`` events (the
+        reorder window); :meth:`flush` drains the remainder.
+        """
+        self._check_open()
+        event = ParsedEvent(
+            time=time, u=u, v=v, weight=weight,
+            seq=self._seq, lineno=lineno, raw=raw,
+        )
+        self._seq += 1
+        self.report.lines += 1
+        self.report.parsed += 1
+        for a_rule in self._chain:
+            offence = a_rule.offends(event, self._state)
+            if offence is None:
+                continue
+            policy = self.policies[a_rule.name]
+            if policy == "strict":
+                raise SanitizationError(a_rule.name, event.lineno, offence)
+            if policy == "quarantine":
+                self._divert(a_rule.name, offence, event)
+                return []
+            repaired = a_rule.repair(event, self._state)
+            if repaired is None:
+                self.report.record_drop(a_rule.name)
+                return []
+            self.report.record_repair(a_rule.name)
+            event = repaired
+        return self._admit(event)
+
+    def feed_parse_error(
+        self, lineno: int, raw: str, reason: str, category: str
+    ) -> None:
+        """Report one line that never became an event (bad fields,
+        unparseable numbers, undecodable bytes).
+
+        Under the ``parse`` rule's ``strict`` policy this raises
+        :class:`~repro.ingest.rules.SanitizationError`; under
+        ``quarantine`` the line is counted (bounded ``category``) and a
+        provenance record is kept for the store.
+        """
+        self._check_open()
+        self.report.lines += 1
+        self.report.record_parse_error(category)
+        if self.policies[PARSE_RULE] == "strict":
+            raise SanitizationError(PARSE_RULE, lineno, reason)
+        self.records.append(
+            QuarantineRecord(
+                rule=PARSE_RULE, reason=reason, seq=-1,
+                lineno=lineno, raw=raw,
+            )
+        )
+
+    def flush(self) -> List[EdgeEvent]:
+        """Drain the reorder buffer (call once, after the last feed)."""
+        self._check_open()
+        emitted: List[EdgeEvent] = []
+        while self._buffer:
+            emitted.append(self._pop())
+        return emitted
+
+    def finalize(
+        self,
+        *,
+        source: str = "",
+        source_sha256: str = "",
+    ) -> StreamHealthReport:
+        """Close the pass: persist the quarantine store (if configured),
+        emit the ``ingest.health`` event, and return the report.
+
+        Raises
+        ------
+        IngestError
+            If events are still buffered (call :meth:`flush` first) or
+            the sanitizer was already finalized.
+        """
+        self._check_open()
+        if self._buffer:
+            raise IngestError(
+                "sanitizer still holds buffered events; call flush() "
+                "before finalize()"
+            )
+        self._finalized = True
+        self.report.source = source
+        if self.quarantine is not None:
+            self.quarantine.save(
+                self.records,
+                source=source,
+                source_sha256=source_sha256,
+                policies=self.policies,
+                buffer_size=self.buffer_size,
+            )
+        self.report.emit()
+        return self.report
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def sanitize_events(self, events: Iterable[_FeedItem]) -> List[EdgeEvent]:
+        """Run an in-memory event sequence through the full pipeline.
+
+        Items are :class:`~repro.graph.dynamic.EdgeEvent` or
+        ``(time, u, v[, weight])`` tuples, in arrival order.  Feeds,
+        flushes, and finalizes (with ``source="<events>"``), so the
+        sanitizer is spent afterwards.
+        """
+        emitted: List[EdgeEvent] = []
+        for item in events:
+            if isinstance(item, EdgeEvent):
+                time, u, v, weight = item.time, item.u, item.v, item.weight
+            elif len(item) == 3:
+                time, u, v = item  # type: ignore[misc]
+                weight = 1.0
+            else:
+                time, u, v, weight = item  # type: ignore[misc]
+            emitted.extend(self.feed(float(time), u, v, float(weight)))  # type: ignore[arg-type]
+        emitted.extend(self.flush())
+        self.finalize(source="<events>")
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise IngestError(
+                "this sanitizer was finalized; build a fresh one per stream"
+            )
+
+    def _divert(self, rule_name: str, reason: str,
+                event: ParsedEvent) -> None:
+        self.report.record_quarantine(rule_name)
+        self.records.append(
+            QuarantineRecord(
+                rule=rule_name, reason=reason, seq=event.seq,
+                lineno=event.lineno, raw=event.raw, time=event.time,
+                u=event.u, v=event.v, weight=event.weight,
+            )
+        )
+
+    def _admit(self, event: ParsedEvent) -> List[EdgeEvent]:
+        state = self._state
+        state.seen[canonical_edge(event.u, event.v)] = event.weight
+        if event.time > state.max_arrival_time:
+            state.max_arrival_time = event.time
+        heapq.heappush(self._buffer, (event.time, event.seq, event))
+        emitted: List[EdgeEvent] = []
+        while len(self._buffer) > self.buffer_size:
+            emitted.append(self._pop())
+        return emitted
+
+    def _pop(self) -> EdgeEvent:
+        time, _seq, event = heapq.heappop(self._buffer)
+        self._state.last_emitted_time = time
+        self.report.emitted += 1
+        return EdgeEvent(time=time, u=event.u, v=event.v,
+                         weight=event.weight)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        modes = ", ".join(
+            f"{name}={mode}" for name, mode in sorted(self.policies.items())
+        )
+        return f"Sanitizer({modes})"

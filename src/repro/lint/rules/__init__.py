@@ -9,3 +9,4 @@ from repro.lint.rules import contracts  # noqa: F401
 from repro.lint.rules import determinism  # noqa: F401
 from repro.lint.rules import imports  # noqa: F401
 from repro.lint.rules import safety  # noqa: F401
+from repro.lint.rules import typing_gate  # noqa: F401

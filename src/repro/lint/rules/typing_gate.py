@@ -1,0 +1,103 @@
+"""R009: strict-profile packages carry complete type annotations.
+
+The mypy strict gate (``[[tool.mypy.overrides]]`` in ``pyproject.toml``)
+only bites where mypy is installed.  This rule mirrors its
+``disallow_untyped_defs`` / ``disallow_incomplete_defs`` core as an AST
+check so the contract also holds in environments that run reprolint
+alone — in particular it keeps the hardened ingest boundary
+(``repro.ingest``) from regressing to untyped code.
+
+Keep :data:`STRICT_PACKAGES` in sync with the override list in
+``pyproject.toml``; ``tests/test_lint_rules.py`` pins the two together.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.registry import rule
+from repro.lint.violation import Violation
+
+#: Path prefixes (relative to the lint root) held to the strict profile.
+#: Mirrors the ``module`` list of the mypy strict override.
+STRICT_PACKAGES: Tuple[str, ...] = (
+    "repro/core/",
+    "repro/graph/",
+    "repro/ingest/",
+    "repro/parallel/",
+    "repro/resilience/",
+)
+
+#: First-parameter names that never need an annotation in a method.
+_IMPLICIT_FIRST = frozenset({"self", "cls"})
+
+
+def _in_strict_package(path: str) -> bool:
+    return path.startswith(STRICT_PACKAGES)
+
+
+def _is_method(node: ast.AST) -> bool:
+    return isinstance(getattr(node, "parent", None), ast.ClassDef)
+
+
+def _unannotated_params(node: ast.AST) -> Iterator[ast.arg]:
+    """Parameters of ``node`` missing an annotation (self/cls excused)."""
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    skip_first = (
+        _is_method(node)
+        and positional
+        and positional[0].arg in _IMPLICIT_FIRST
+        and not any(
+            isinstance(dec, ast.Name) and dec.id == "staticmethod"
+            for dec in node.decorator_list
+        )
+    )
+    if skip_first:
+        positional = positional[1:]
+    for param in positional + list(args.kwonlyargs):
+        if param.annotation is None:
+            yield param
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            yield star
+
+
+def _needs_return_annotation(node: ast.AST) -> bool:
+    """Whether a missing ``->`` is a violation for this def.
+
+    Mirrors mypy: ``__init__`` may omit the return annotation (its
+    return type is always ``None``); everything else must state one.
+    """
+    return node.name != "__init__"
+
+
+@rule(
+    "R009",
+    "untyped-def-in-strict-package",
+    summary="incompletely annotated def in a mypy-strict package",
+    invariant="The packages under the mypy strict profile (pyproject "
+              "[[tool.mypy.overrides]]) stay fully annotated even where "
+              "mypy is not installed; the ingest boundary in particular "
+              "must not regress to untyped code (docs/static-analysis.md).",
+)
+def check_typed_defs(ctx: FileContext) -> Iterator[Violation]:
+    if not _in_strict_package(ctx.path):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for param in _unannotated_params(node):
+            yield ctx.violation(
+                param, "R009",
+                f"parameter {param.arg!r} of {node.name}() lacks a type "
+                f"annotation (strict-profile package)",
+            )
+        if node.returns is None and _needs_return_annotation(node):
+            yield ctx.violation(
+                node, "R009",
+                f"{node.name}() lacks a return annotation "
+                f"(strict-profile package)",
+            )

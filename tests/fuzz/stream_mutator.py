@@ -1,0 +1,169 @@
+"""Deterministic, seeded corruption of edge-stream bytes.
+
+The fuzz harness (``test_loader_fuzz.py``) feeds the loaders mutated
+variants of a known-clean corpus.  Every mutation is a pure function of
+``(corpus bytes, class name, seed)`` — ``random.Random(seed)`` only, no
+global randomness — so a failing case is reproducible from its seed
+alone and the CI smoke job pins exactly the same inputs on every run.
+
+Corruption classes (each models a real-world failure mode):
+
+==================  ====================================================
+``truncate``        the file is cut mid-byte (partial download)
+``garbage-bytes``   random bytes spliced in, including invalid UTF-8
+``field-swap``      two fields of a line exchanged (column confusion)
+``huge-token``      a field replaced by a 5000-char token / ``1e999``
+``drop-field``      a field deleted from a line (ragged row)
+``dup-lines``       lines duplicated (doubled export)
+``shuffle-times``   timestamps permuted across lines (disordered feed)
+``sign-flip``       a weight negated (deletion events)
+``crlf-and-blank``  CRLF endings plus blank/comment noise
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+Mutator = Callable[[bytes, random.Random], bytes]
+
+
+def _lines(blob: bytes) -> List[bytes]:
+    return blob.split(b"\n")
+
+
+def _data_line_indices(lines: List[bytes]) -> List[int]:
+    return [
+        i for i, line in enumerate(lines)
+        if line.strip() and not line.lstrip().startswith(b"#")
+    ]
+
+
+def mutate_truncate(blob: bytes, rng: random.Random) -> bytes:
+    if len(blob) < 2:
+        return blob
+    return blob[: rng.randrange(1, len(blob))]
+
+
+def mutate_garbage_bytes(blob: bytes, rng: random.Random) -> bytes:
+    out = bytearray(blob)
+    for _ in range(rng.randrange(1, 6)):
+        pos = rng.randrange(0, len(out) + 1)
+        junk = bytes(rng.randrange(0, 256) for _ in range(rng.randrange(1, 8)))
+        out[pos:pos] = junk
+    return bytes(out)
+
+
+def mutate_field_swap(blob: bytes, rng: random.Random) -> bytes:
+    lines = _lines(blob)
+    targets = _data_line_indices(lines)
+    if not targets:
+        return blob
+    i = rng.choice(targets)
+    fields = lines[i].split(b"\t")
+    if len(fields) >= 2:
+        a, b = rng.sample(range(len(fields)), 2)
+        fields[a], fields[b] = fields[b], fields[a]
+        lines[i] = b"\t".join(fields)
+    return b"\n".join(lines)
+
+
+def mutate_huge_token(blob: bytes, rng: random.Random) -> bytes:
+    lines = _lines(blob)
+    targets = _data_line_indices(lines)
+    if not targets:
+        return blob
+    i = rng.choice(targets)
+    fields = lines[i].split(b"\t")
+    j = rng.randrange(len(fields))
+    fields[j] = rng.choice([b"9" * 5000, b"1e999", b"-1e999", b"nan"])
+    lines[i] = b"\t".join(fields)
+    return b"\n".join(lines)
+
+
+def mutate_drop_field(blob: bytes, rng: random.Random) -> bytes:
+    lines = _lines(blob)
+    targets = _data_line_indices(lines)
+    if not targets:
+        return blob
+    i = rng.choice(targets)
+    fields = lines[i].split(b"\t")
+    if len(fields) > 1:
+        del fields[rng.randrange(len(fields))]
+        lines[i] = b"\t".join(fields)
+    return b"\n".join(lines)
+
+
+def mutate_dup_lines(blob: bytes, rng: random.Random) -> bytes:
+    lines = _lines(blob)
+    targets = _data_line_indices(lines)
+    if not targets:
+        return blob
+    for _ in range(rng.randrange(1, 4)):
+        i = rng.choice(targets)
+        lines.insert(rng.choice(targets), lines[i])
+    return b"\n".join(lines)
+
+
+def mutate_shuffle_times(blob: bytes, rng: random.Random) -> bytes:
+    lines = _lines(blob)
+    targets = _data_line_indices(lines)
+    if len(targets) < 2:
+        return blob
+    firsts = [lines[i].split(b"\t")[0] for i in targets]
+    rng.shuffle(firsts)
+    for i, first in zip(targets, firsts):
+        fields = lines[i].split(b"\t")
+        fields[0] = first
+        lines[i] = b"\t".join(fields)
+    return b"\n".join(lines)
+
+
+def mutate_sign_flip(blob: bytes, rng: random.Random) -> bytes:
+    lines = _lines(blob)
+    targets = _data_line_indices(lines)
+    if not targets:
+        return blob
+    i = rng.choice(targets)
+    fields = lines[i].split(b"\t")
+    if len(fields) == 4:
+        fields[3] = rng.choice([b"-", b"", b"0.0\t-"]) + fields[3]
+        lines[i] = b"\t".join(fields)
+    return b"\n".join(lines)
+
+
+def mutate_crlf_and_blank(blob: bytes, rng: random.Random) -> bytes:
+    lines = _lines(blob)
+    for _ in range(rng.randrange(1, 4)):
+        pos = rng.randrange(0, len(lines) + 1)
+        lines.insert(pos, rng.choice([b"", b"   ", b"# injected comment"]))
+    return b"\r\n".join(lines)
+
+
+CORRUPTION_CLASSES: Dict[str, Mutator] = {
+    "truncate": mutate_truncate,
+    "garbage-bytes": mutate_garbage_bytes,
+    "field-swap": mutate_field_swap,
+    "huge-token": mutate_huge_token,
+    "drop-field": mutate_drop_field,
+    "dup-lines": mutate_dup_lines,
+    "shuffle-times": mutate_shuffle_times,
+    "sign-flip": mutate_sign_flip,
+    "crlf-and-blank": mutate_crlf_and_blank,
+}
+
+
+def mutate(blob: bytes, klass: str, seed: int) -> bytes:
+    """Apply corruption class ``klass`` to ``blob`` under ``seed``.
+
+    Deterministic: the same triple always yields the same bytes.
+    Roughly a third of seeds stack a second class on top, so compound
+    corruption is exercised too.
+    """
+    rng = random.Random(seed)
+    out = CORRUPTION_CLASSES[klass](blob, rng)
+    if rng.random() < 0.35:
+        other = rng.choice(sorted(CORRUPTION_CLASSES))
+        out = CORRUPTION_CLASSES[other](out, rng)
+    return out

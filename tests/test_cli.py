@@ -191,3 +191,146 @@ class TestErrorPaths:
         rc = main(["characteristics", str(bad)])
         assert rc == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+DIRTY_STREAM = (
+    "0\t1\t2\t5.0\n"
+    "1\t3\t3\t1.0\n"
+    "garbage line\n"
+    "2\t6\t7\t0.0\n"
+    "3\t8\t9\t1.0\n"
+)
+
+
+class TestValidate:
+    def test_clean_stream_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.tsv"
+        path.write_text("0\t1\t2\n1\t2\t3\n")
+        assert main(["validate", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_stream_exits_one_with_report(self, tmp_path, capsys):
+        path = tmp_path / "dirty.tsv"
+        path.write_text(DIRTY_STREAM)
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "self-loop" in out
+        assert "deletion" in out
+        assert "fields=1" in out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.tsv")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_plain_edge_list_supported(self, tmp_path, capsys):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2\n1 1\n")
+        assert main(["validate", str(path)]) == 1
+        assert "self-loop" in capsys.readouterr().out
+
+
+class TestSanitize:
+    def test_writes_clean_stream(self, tmp_path, capsys):
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY_STREAM)
+        out = tmp_path / "clean.tsv"
+        rc = main(["sanitize", str(src), "--out", str(out)])
+        assert rc == 0
+        assert "wrote 2 events" in capsys.readouterr().out
+        # The output re-validates as clean.
+        assert main(["validate", str(out)]) == 0
+
+    def test_policy_override_and_quarantine_dir(self, tmp_path, capsys):
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY_STREAM)
+        rc = main([
+            "sanitize", str(src), "--out", str(tmp_path / "c.tsv"),
+            "--policy", "deletion=quarantine",
+            "--quarantine-dir", str(tmp_path / "q"),
+        ])
+        assert rc == 0
+        assert (tmp_path / "q" / "manifest.json").exists()
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_bad_policy_spec_exits_two(self, tmp_path, capsys):
+        src = tmp_path / "s.tsv"
+        src.write_text("0\t1\t2\n")
+        rc = main([
+            "sanitize", str(src), "--out", str(tmp_path / "c.tsv"),
+            "--policy", "deletion",
+        ])
+        assert rc == 2
+        assert "rule=mode" in capsys.readouterr().err
+
+    def test_strict_policy_failure_exits_two(self, tmp_path, capsys):
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY_STREAM)
+        rc = main([
+            "sanitize", str(src), "--out", str(tmp_path / "c.tsv"),
+            "--policy", "deletion=strict",
+        ])
+        assert rc == 2
+        assert "[deletion]" in capsys.readouterr().err
+
+
+class TestQuarantineCommand:
+    def _quarantined(self, tmp_path):
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY_STREAM)
+        main([
+            "sanitize", str(src), "--out", str(tmp_path / "c.tsv"),
+            "--policy", "deletion=quarantine",
+            "--quarantine-dir", str(tmp_path / "q"),
+        ])
+        return tmp_path / "q"
+
+    def test_show_lists_records(self, tmp_path, capsys):
+        qdir = self._quarantined(tmp_path)
+        capsys.readouterr()
+        assert main(["quarantine", "show", str(qdir)]) == 0
+        out = capsys.readouterr().out
+        assert "[deletion]" in out
+        assert "sha256" in out
+
+    def test_replay_with_policy_flip(self, tmp_path, capsys):
+        qdir = self._quarantined(tmp_path)
+        capsys.readouterr()
+        out = tmp_path / "replayed.tsv"
+        rc = main([
+            "quarantine", "replay", str(qdir),
+            "--policy", "deletion=repair", "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote 2 events" in capsys.readouterr().out
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        rc = main(["quarantine", "show", str(tmp_path / "nothing")])
+        assert rc == 2
+        assert "no quarantine run" in capsys.readouterr().err
+
+
+class TestMonitorInvalidWindow:
+    def test_skip_and_log_flag(self, tmp_path, capsys):
+        src = tmp_path / "del.tsv"
+        rows = [f"{t}\t{t % 5}\t{t % 7 + 5}\t1.0" for t in range(40)]
+        rows.append("40\t0\t5\t0.0")  # delete the first edge
+        src.write_text("\n".join(rows) + "\n")
+        rc = main([
+            "monitor", str(src), "--checkpoints", "0.5,1.0",
+            "--on-invalid-window", "skip-and-log", "--k", "3", "--m", "4",
+        ])
+        assert rc == 0
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_default_fail_surfaces_error(self, tmp_path, capsys):
+        src = tmp_path / "del.tsv"
+        rows = [f"{t}\t{t % 5}\t{t % 7 + 5}\t1.0" for t in range(40)]
+        rows.append("40\t0\t5\t0.0")
+        src.write_text("\n".join(rows) + "\n")
+        rc = main([
+            "monitor", str(src), "--checkpoints", "0.5,1.0",
+            "--k", "3", "--m", "4",
+        ])
+        assert rc == 2
+        assert "insertion-only" in capsys.readouterr().err

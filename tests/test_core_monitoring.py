@@ -157,3 +157,108 @@ def test_monitor_windows_tile_the_checkpoints(checkpoints):
         assert report.sp_spent <= 10
         for pair in report.pairs:
             assert pair.delta > 0
+
+
+# ----------------------------------------------------------------------
+# Invalid windows: a deletion event sneaks into the stream.
+# ----------------------------------------------------------------------
+import json
+
+from repro.graph.dynamic import EdgeEvent, TemporalGraph
+from repro.graph.validation import GraphValidationError
+from repro.resilience import capture_events
+
+
+def _streams_with_and_without_deletion():
+    """Two equal-length streams differing in ONE event.
+
+    The dirty stream deletes an early edge late in the stream (inside
+    the final monitoring window); the clean stream carries a harmless
+    duplicate re-insertion at the same position instead, so every
+    fraction cut selects the same event indices in both.
+    """
+    base = list(random_temporal_graph(60, 240, seed=91).events())
+    target = base[10]
+    inject_at = int(len(base) * 0.85)
+    t = base[inject_at - 1].time
+    deletion = EdgeEvent(time=t, u=target.u, v=target.v, weight=0.0)
+    duplicate = EdgeEvent(time=t, u=target.u, v=target.v,
+                          weight=target.weight)
+    dirty = TemporalGraph(base[:inject_at] + [deletion] + base[inject_at:])
+    clean = TemporalGraph(base[:inject_at] + [duplicate] + base[inject_at:])
+    assert dirty.num_events == clean.num_events
+    return dirty, clean
+
+
+CHECKPOINTS = [0.25, 0.5, 0.75, 1.0]
+
+
+class TestOnInvalidWindow:
+    def test_fail_is_default_and_raises(self):
+        dirty, _ = _streams_with_and_without_deletion()
+        with pytest.raises(GraphValidationError, match="insertion-only"):
+            make_monitor(dirty).run(CHECKPOINTS)
+
+    def test_unknown_policy_rejected(self):
+        _, clean = _streams_with_and_without_deletion()
+        with pytest.raises(ValueError, match="on_invalid_window"):
+            make_monitor(clean, on_invalid_window="ignore")
+
+    def test_skip_and_log_completes_with_identical_clean_windows(self):
+        """Acceptance: the sweep completes, the tainted window is
+        skipped, and every window untouched by the dirt is
+        byte-identical to the clean run's."""
+        dirty, clean = _streams_with_and_without_deletion()
+        with capture_events() as events:
+            dirty_reports = make_monitor(
+                dirty, on_invalid_window="skip-and-log"
+            ).run(CHECKPOINTS)
+        clean_reports = make_monitor(clean).run(CHECKPOINTS)
+
+        assert len(dirty_reports) == len(clean_reports) == 3
+        # The deletion lands inside the final window only.
+        assert [r.ok for r in dirty_reports] == [True, True, False]
+        assert "insertion-only" in dirty_reports[2].error
+
+        for dr, cr in zip(dirty_reports[:2], clean_reports[:2]):
+            assert json.dumps(dr.to_payload(), sort_keys=True) == \
+                json.dumps(cr.to_payload(), sort_keys=True)
+
+        invalid = [f for kind, f in events if kind == "window.invalid"]
+        assert len(invalid) == 1
+        assert invalid[0]["action"] == "skip"
+
+    def test_skipped_window_counts_as_failed(self):
+        dirty, _ = _streams_with_and_without_deletion()
+        monitor = make_monitor(dirty, on_invalid_window="skip-and-log")
+        monitor.run(CHECKPOINTS)
+        assert len(monitor.failed_windows()) == 1
+
+    def test_repair_completes_every_window(self):
+        dirty, _ = _streams_with_and_without_deletion()
+        with capture_events() as events:
+            reports = make_monitor(
+                dirty, on_invalid_window="repair"
+            ).run(CHECKPOINTS)
+        assert all(r.ok for r in reports)
+        invalid = [f for kind, f in events if kind == "window.invalid"]
+        assert len(invalid) == 1
+        assert invalid[0]["action"] == "repair"
+        assert "restored" in invalid[0]["detail"]
+
+    def test_repaired_window_checkpoints_under_distinct_key(self, tmp_path):
+        from repro.resilience import CheckpointStore
+
+        dirty, _ = _streams_with_and_without_deletion()
+        store = CheckpointStore(tmp_path / "ckpt")
+        make_monitor(
+            dirty, on_invalid_window="repair", checkpoint_store=store,
+        ).run(CHECKPOINTS)
+        # A later clean-policy run over the same fractions must not
+        # resume from the repaired window's entry.
+        monitor = make_monitor(
+            dirty, on_invalid_window="skip-and-log",
+            checkpoint_store=store,
+        )
+        reports = monitor.run(CHECKPOINTS)
+        assert not reports[2].ok  # skipped, not resumed-from-repair

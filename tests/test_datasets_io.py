@@ -113,6 +113,145 @@ class TestSkipMode:
             read_edge_stream(path, errors="ignore")
 
 
+class TestErrorCategories:
+    def test_counts_every_category_not_just_first(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text(
+            "0\t1\t2\n"          # ok
+            "too\tfew\n"          # fields
+            "nope\t3\t4\n"        # time
+            "1\t5\t6\tbad\n"      # weight
+            "2\t\t7\n"            # node
+            "inf\t8\t9\n"         # time (non-finite)
+        )
+        stats = ReadStats()
+        with pytest.warns(UserWarning) as caught:
+            read_edge_stream(path, errors="skip", stats=stats)
+        assert stats.error_counts == {
+            "fields": 1, "time": 2, "weight": 1, "node": 1,
+        }
+        assert stats.skipped == 5
+        # The single warning surfaces the per-category breakdown.
+        message = str(caught[0].message)
+        assert "fields=1" in message and "time=2" in message
+        # first_error still pins the first failure's location.
+        assert ":2:" in stats.first_error
+
+    def test_category_count_is_bounded(self):
+        from repro.datasets.io import MAX_ERROR_CATEGORIES
+
+        stats = ReadStats()
+        for i in range(MAX_ERROR_CATEGORIES + 4):
+            stats.record_error(f"cat{i}", f"err {i}")
+        assert len(stats.error_counts) == MAX_ERROR_CATEGORIES + 1
+        assert stats.error_counts["other"] == 4
+
+    def test_non_finite_weight_rejected_strict(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\tinf\n")
+        with pytest.raises(ValueError, match="non-finite weight"):
+            read_edge_stream(path)
+
+    def test_undecodable_bytes_are_malformed_not_a_crash(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        path.write_bytes(b"0\t1\t2\n\xff\xfe broken\n1\t3\t4\n")
+        stats = ReadStats()
+        with pytest.warns(UserWarning, match="encoding=1"):
+            tg = read_edge_stream(path, errors="skip", stats=stats)
+        assert tg.num_events == 2
+        assert stats.error_counts == {"encoding": 1}
+
+    def test_undecodable_bytes_strict_raises_located_valueerror(
+        self, tmp_path
+    ):
+        path = tmp_path / "s.tsv"
+        path.write_bytes(b"0\t1\t2\n\xff\xfe\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_edge_stream(path)
+
+
+class TestWriteGuards:
+    def test_tab_in_node_id_rejected(self, tmp_path):
+        tg = TemporalGraph([(0, "a\tb", "c")])
+        with pytest.raises(ValueError, match="tabs and newlines"):
+            write_edge_stream(tg, tmp_path / "s.tsv")
+
+    def test_newline_in_node_id_rejected(self, tmp_path):
+        tg = TemporalGraph([(0, "a", "b\nc")])
+        with pytest.raises(ValueError, match="tabs and newlines"):
+            write_edge_stream(tg, tmp_path / "s.tsv")
+
+    def test_carriage_return_in_node_id_rejected(self, tmp_path):
+        tg = TemporalGraph([(0, "a", "b\rc")])
+        with pytest.raises(ValueError):
+            write_edge_stream(tg, tmp_path / "s.tsv")
+
+    def test_empty_node_id_rejected(self, tmp_path):
+        tg = TemporalGraph([(0, "", "b")])
+        with pytest.raises(ValueError, match="empty node id"):
+            write_edge_stream(tg, tmp_path / "s.tsv")
+
+    def test_rejection_happens_before_any_write(self, tmp_path):
+        path = tmp_path / "s.tsv"
+        tg = TemporalGraph([(0, "ok", "fine"), (1, "bad\tid", "x")])
+        with pytest.raises(ValueError):
+            write_edge_stream(tg, path)
+        assert not path.exists()
+
+    def test_spaces_in_node_ids_roundtrip(self, tmp_path):
+        tg = TemporalGraph([(0, "alice smith", "bob jones")])
+        path = tmp_path / "s.tsv"
+        write_edge_stream(tg, path)
+        back = read_edge_stream(path)
+        assert back.snapshot().has_edge("alice smith", "bob jones")
+
+
+class TestSanitizedRead:
+    def test_sanitizer_cleans_and_reports(self, tmp_path):
+        from repro.ingest import Sanitizer
+
+        path = tmp_path / "dirty.tsv"
+        path.write_text("0\t1\t2\n1\t3\t3\ngarbage\n2\t4\t5\n")
+        sanitizer = Sanitizer()
+        tg = read_edge_stream(path, sanitizer=sanitizer)
+        assert tg.num_events == 2
+        assert sanitizer.report.dropped == {"self-loop": 1}
+        assert sanitizer.report.parse_errors == {"fields": 1}
+        assert sanitizer.report.source == str(path)
+
+    def test_sanitizer_and_skip_mode_are_exclusive(self, tmp_path):
+        from repro.ingest import Sanitizer
+
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\n")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            read_edge_stream(path, errors="skip", sanitizer=Sanitizer())
+
+    def test_stats_mirror_report_on_sanitized_read(self, tmp_path):
+        from repro.ingest import Sanitizer
+
+        path = tmp_path / "s.tsv"
+        path.write_text("0\t1\t2\nbad\n1\t1\t2\n")
+        stats = ReadStats()
+        read_edge_stream(path, stats=stats, sanitizer=Sanitizer())
+        assert stats.lines == 3
+        assert stats.parsed == 2
+        assert stats.skipped == 1
+
+    def test_edge_list_with_sanitizer_counts_self_loops(self, tmp_path):
+        from repro.ingest import Sanitizer
+
+        path = tmp_path / "edges.txt"
+        path.write_text("1 1\n1 2\nshort\n2 1\n")
+        sanitizer = Sanitizer()
+        tg = read_edge_list(path, sanitizer=sanitizer)
+        assert tg.num_events == 1
+        assert sanitizer.report.dropped == {
+            "self-loop": 1, "duplicate": 1,
+        }
+        assert sanitizer.report.parse_errors == {"fields": 1}
+
+
 class TestReadEdgeList:
     def test_line_order_is_time(self, tmp_path):
         path = tmp_path / "edges.txt"

@@ -128,3 +128,40 @@ class TestSnapshots:
 
     def test_iteration(self, stream):
         assert sum(1 for _ in stream) == 10
+
+
+class TestDeletionEvents:
+    """Non-positive weight marks an edge deletion (dirty real streams)."""
+
+    def test_is_deletion_flag(self):
+        from repro.graph.dynamic import EdgeEvent
+
+        assert EdgeEvent(0, 1, 2, 0.0).is_deletion
+        assert EdgeEvent(0, 1, 2, -1.0).is_deletion
+        assert not EdgeEvent(0, 1, 2, 1.0).is_deletion
+
+    def test_deletion_removes_edge_from_snapshot(self):
+        tg = TemporalGraph([(0, 1, 2), (1, 2, 3), (2, 1, 2, 0.0)])
+        g = tg.snapshot()
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        # Endpoints survive as (possibly isolated) nodes.
+        assert 1 in g
+
+    def test_deletion_of_absent_edge_is_noop(self):
+        tg = TemporalGraph([(0, 1, 2), (1, 8, 9, -2.0)])
+        g = tg.snapshot()
+        assert g.num_edges == 1
+        assert 8 not in g
+
+    def test_deletion_only_affects_later_snapshots(self):
+        tg = TemporalGraph([(0, 1, 2), (1, 2, 3), (2, 1, 2, 0.0)])
+        early = tg.snapshot_at_time(1)
+        late = tg.snapshot_at_time(2)
+        assert early.has_edge(1, 2)
+        assert not late.has_edge(1, 2)
+
+    def test_reinsertion_after_deletion(self):
+        tg = TemporalGraph([(0, 1, 2, 3.0), (1, 1, 2, 0.0), (2, 1, 2, 5.0)])
+        g = tg.snapshot()
+        assert g.weight(1, 2) == 5.0

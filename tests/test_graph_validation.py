@@ -7,6 +7,7 @@ from repro.graph.validation import (
     GraphValidationError,
     check_simple,
     check_snapshot_pair,
+    repair_snapshot_pair,
 )
 
 from conftest import path_graph
@@ -66,3 +67,75 @@ class TestCheckSnapshotPair:
         g2.add_edge(4, 5)
         g2.add_edge(0, 3)
         check_snapshot_pair(path5, g2)
+
+    def test_node_isolated_in_g2_is_edge_violation(self):
+        # The node survives (so the node check passes) but its only
+        # edge was deleted — exactly what a deletion event produces.
+        g1 = Graph([(0, 1), (1, 2)])
+        g2 = Graph([(1, 2)])
+        g2.add_node(0)
+        with pytest.raises(GraphValidationError, match=r"edge \(0, 1\)"):
+            check_snapshot_pair(g1, g2)
+
+    def test_empty_pair_is_valid(self):
+        check_snapshot_pair(Graph(), Graph())
+
+    def test_empty_g1_any_g2_is_valid(self, path5):
+        check_snapshot_pair(Graph(), path5)
+
+    def test_nonempty_g1_empty_g2_detected(self, path5):
+        with pytest.raises(GraphValidationError, match="node"):
+            check_snapshot_pair(path5, Graph())
+
+
+class TestRepairSnapshotPair:
+    def test_valid_pair_untouched(self, path5):
+        g2 = path5.copy()
+        g2.add_edge(4, 5)
+        repaired, report = repair_snapshot_pair(path5, g2)
+        assert report.clean
+        assert repaired == g2
+        assert "no repair" in report.summary()
+
+    def test_restores_deleted_edge_with_g1_weight(self):
+        g1 = Graph([(0, 1, 2.5), (1, 2)])
+        g2 = Graph([(1, 2)])
+        g2.add_node(0)
+        repaired, report = repair_snapshot_pair(g1, g2)
+        assert repaired.weight(0, 1) == 2.5
+        assert report.restored_edges == [(0, 1, 2.5)]
+        check_snapshot_pair(g1, repaired)
+
+    def test_restores_deleted_node(self):
+        g1 = Graph([(0, 1)])
+        g1.add_node(9)
+        g2 = Graph([(0, 1)])
+        repaired, report = repair_snapshot_pair(g1, g2)
+        assert 9 in repaired
+        assert report.restored_nodes == [9]
+        check_snapshot_pair(g1, repaired)
+
+    def test_clamps_increased_weight(self):
+        g1 = Graph([(0, 1, 1.0)])
+        g2 = Graph([(0, 1, 4.0)])
+        repaired, report = repair_snapshot_pair(g1, g2)
+        assert repaired.weight(0, 1) == 1.0
+        assert report.clamped_weights == [(0, 1, 4.0, 1.0)]
+        check_snapshot_pair(g1, repaired)
+
+    def test_inputs_never_mutated(self):
+        g1 = Graph([(0, 1, 1.0), (1, 2)])
+        g2 = Graph([(0, 1, 4.0)])
+        before1, before2 = g1.copy(), g2.copy()
+        repair_snapshot_pair(g1, g2)
+        assert g1 == before1
+        assert g2 == before2
+
+    def test_repair_then_check_always_passes(self):
+        # Compound dirt: missing node, missing edge, heavier edge.
+        g1 = Graph([(0, 1, 2.0), (1, 2, 1.0), (2, 3, 1.0)])
+        g2 = Graph([(0, 1, 5.0), (1, 2, 1.0)])
+        repaired, report = repair_snapshot_pair(g1, g2)
+        assert not report.clean
+        assert "restored" in report.summary()
+        check_snapshot_pair(g1, repaired)

@@ -1,0 +1,184 @@
+"""Unit tests for the quarantine store and policy replay."""
+
+import json
+
+import pytest
+
+from repro.datasets.io import read_edge_stream, write_edge_stream
+from repro.ingest import (
+    QuarantineError,
+    QuarantineRecord,
+    QuarantineStore,
+    Sanitizer,
+    replay_quarantine,
+)
+
+
+def _record(i=0):
+    return QuarantineRecord(
+        rule="deletion", reason=f"r{i}", seq=i, lineno=i + 1,
+        raw=f"line{i}", time=float(i), u=i, v=i + 1, weight=0.0,
+    )
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        records = [_record(0), _record(1)]
+        store.save(records, source="s.tsv", source_sha256="ab" * 32,
+                   policies={"deletion": "quarantine"}, buffer_size=8)
+        run = store.load()
+        assert run.source == "s.tsv"
+        assert run.buffer_size == 8
+        assert run.policies == {"deletion": "quarantine"}
+        assert run.records == records
+
+    def test_exists(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        assert not store.exists()
+        store.save([], source="s", source_sha256="x",
+                   policies={}, buffer_size=0)
+        assert store.exists()
+
+    def test_missing_run_raises(self, tmp_path):
+        with pytest.raises(QuarantineError, match="no quarantine run"):
+            QuarantineStore(tmp_path / "empty").load()
+
+    def test_tampered_records_detected(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.save([_record()], source="s", source_sha256="x",
+                   policies={}, buffer_size=0)
+        blob = store.records_path.read_bytes()
+        store.records_path.write_bytes(blob.replace(b"r0", b"rX"))
+        with pytest.raises(QuarantineError, match="checksum"):
+            store.load()
+
+    def test_corrupt_manifest_detected(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.save([], source="s", source_sha256="x",
+                   policies={}, buffer_size=0)
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(QuarantineError, match="unreadable"):
+            store.load()
+
+    def test_schema_mismatch_detected(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.save([], source="s", source_sha256="x",
+                   policies={}, buffer_size=0)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["schema"] = 999
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(QuarantineError, match="schema"):
+            store.load()
+
+    def test_no_leftover_temp_files(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        store.save([_record()], source="s", source_sha256="x",
+                   policies={}, buffer_size=0)
+        names = {p.name for p in store.directory.iterdir()}
+        assert names == {"manifest.json", "records.jsonl"}
+
+    def test_exotic_node_ids_serialised_as_repr(self, tmp_path):
+        store = QuarantineStore(tmp_path / "q")
+        rec = QuarantineRecord(
+            rule="self-loop", reason="r", seq=0, lineno=1, raw="",
+            u=(1, 2), v=(1, 2), weight=1.0,
+        )
+        store.save([rec], source="s", source_sha256="x",
+                   policies={}, buffer_size=0)
+        loaded = store.load().records[0]
+        assert loaded.u == "(1, 2)"
+
+
+DIRTY = (
+    "0\t1\t2\t5.0\n"
+    "1\t3\t3\t1.0\n"
+    "2\t6\t7\t0.0\n"
+    "3\t1\t2\t9.0\n"
+    "4\t8\t9\t1.0\n"
+)
+
+
+def _sanitized_read(path, policies, qdir=None):
+    store = QuarantineStore(qdir) if qdir is not None else None
+    sanitizer = Sanitizer(policies, quarantine=store)
+    temporal = read_edge_stream(path, sanitizer=sanitizer)
+    return temporal, sanitizer
+
+
+class TestReplay:
+    def test_replay_equals_direct_ingestion(self, tmp_path):
+        """The acceptance contract: quarantine a rule, flip it to
+        repair, replay — the result is byte-identical to having
+        ingested with repair in the first place."""
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY)
+
+        quarantined, _ = _sanitized_read(
+            src, {"deletion": "quarantine"}, qdir=tmp_path / "q"
+        )
+        replayed, replay_sanitizer = replay_quarantine(
+            tmp_path / "q", {"deletion": "repair"}
+        )
+        direct, direct_sanitizer = _sanitized_read(
+            src, {"deletion": "repair"}
+        )
+
+        out_replayed = tmp_path / "replayed.tsv"
+        out_direct = tmp_path / "direct.tsv"
+        write_edge_stream(replayed, out_replayed)
+        write_edge_stream(direct, out_direct)
+        assert out_replayed.read_bytes() == out_direct.read_bytes()
+
+        pr = replay_sanitizer.report.to_payload()
+        pd = direct_sanitizer.report.to_payload()
+        assert pr == pd
+
+    def test_replay_preserves_recorded_policies(self, tmp_path):
+        # A rule configured in the original run but absent from the
+        # overrides keeps its recorded policy on replay.
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY)
+        _sanitized_read(
+            src,
+            {"deletion": "quarantine", "self-loop": "quarantine"},
+            qdir=tmp_path / "q",
+        )
+        _, sanitizer = replay_quarantine(tmp_path / "q",
+                                         {"deletion": "repair"})
+        assert sanitizer.policies["deletion"] == "repair"
+        assert sanitizer.policies["self-loop"] == "quarantine"
+        assert sanitizer.report.quarantined == {"self-loop": 1}
+
+    def test_replay_refuses_changed_source(self, tmp_path):
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY)
+        _sanitized_read(src, {"deletion": "quarantine"},
+                        qdir=tmp_path / "q")
+        src.write_text(DIRTY + "5\t10\t11\t1.0\n")
+        with pytest.raises(QuarantineError, match="changed since"):
+            replay_quarantine(tmp_path / "q")
+
+    def test_replay_refuses_missing_source(self, tmp_path):
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY)
+        _sanitized_read(src, {"deletion": "quarantine"},
+                        qdir=tmp_path / "q")
+        src.unlink()
+        with pytest.raises(QuarantineError, match="no longer exists"):
+            replay_quarantine(tmp_path / "q")
+
+    def test_replay_can_quarantine_into_new_store(self, tmp_path):
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY)
+        _sanitized_read(src, {"deletion": "quarantine"},
+                        qdir=tmp_path / "q1")
+        _, sanitizer = replay_quarantine(
+            tmp_path / "q1",
+            quarantine=QuarantineStore(tmp_path / "q2"),
+        )
+        # Same policy as the original run: the deletion is diverted
+        # again, now into the second store.
+        run2 = QuarantineStore(tmp_path / "q2").load()
+        assert [r.rule for r in run2.records] == ["deletion"]
+        assert sanitizer.report.quarantined == {"deletion": 1}

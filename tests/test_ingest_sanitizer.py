@@ -1,0 +1,279 @@
+"""Unit tests for the stream sanitizer: rules, policies, determinism."""
+
+import json
+
+import pytest
+
+from repro.datasets.io import read_edge_stream, write_edge_stream
+from repro.ingest import (
+    DEFAULT_POLICIES,
+    RULE_CHAIN,
+    RULE_NAMES,
+    IngestError,
+    SanitizationError,
+    Sanitizer,
+    check_policies,
+)
+from repro.ingest.report import (
+    MAX_ERROR_CATEGORIES,
+    OVERFLOW_CATEGORY,
+    StreamHealthReport,
+)
+from repro.resilience import capture_events
+
+
+class TestPolicies:
+    def test_defaults_repair_everything_repairable(self):
+        merged = check_policies(None)
+        for rule in RULE_CHAIN:
+            assert merged[rule] == "repair"
+        assert merged["parse"] == "quarantine"
+
+    def test_override_merges_over_defaults(self):
+        merged = check_policies({"deletion": "strict"})
+        assert merged["deletion"] == "strict"
+        assert merged["duplicate"] == "repair"
+
+    def test_base_merge_preserves_non_overridden(self):
+        base = dict(DEFAULT_POLICIES, deletion="quarantine")
+        merged = check_policies({"duplicate": "strict"}, base=base)
+        assert merged["deletion"] == "quarantine"
+        assert merged["duplicate"] == "strict"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown sanitizer rule"):
+            check_policies({"typo": "repair"})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            check_policies({"deletion": "maybe"})
+
+    def test_parse_cannot_repair(self):
+        with pytest.raises(ValueError, match="cannot repair"):
+            check_policies({"parse": "repair"})
+
+    def test_rule_names_cover_chain(self):
+        assert set(RULE_CHAIN) < set(RULE_NAMES)
+        assert "parse" in RULE_NAMES
+
+
+class TestRepairPolicies:
+    """Default policies: every dirty event is repaired or dropped."""
+
+    def test_self_loop_dropped(self):
+        s = Sanitizer()
+        out = s.sanitize_events([(0, 1, 1), (1, 1, 2)])
+        assert [(e.u, e.v) for e in out] == [(1, 2)]
+        assert s.report.dropped == {"self-loop": 1}
+
+    def test_deletion_dropped(self):
+        s = Sanitizer()
+        out = s.sanitize_events([(0, 1, 2, 1.0), (1, 3, 4, 0.0), (2, 5, 6, -2.0)])
+        assert [(e.u, e.v) for e in out] == [(1, 2)]
+        assert s.report.dropped == {"deletion": 2}
+
+    def test_duplicate_collapsed_first_wins(self):
+        s = Sanitizer()
+        out = s.sanitize_events([(0, 1, 2, 3.0), (1, 2, 1, 3.0), (2, 1, 2, 3.0)])
+        assert len(out) == 1
+        assert out[0].weight == 3.0
+        assert s.report.dropped == {"duplicate": 2}
+
+    def test_weight_increase_clamped_then_collapsed(self):
+        s = Sanitizer()
+        out = s.sanitize_events([(0, 1, 2, 2.0), (1, 1, 2, 9.0)])
+        assert len(out) == 1
+        assert s.report.repaired == {"weight-increase": 1}
+        assert s.report.dropped == {"duplicate": 1}
+
+    def test_weight_decrease_is_still_a_duplicate(self):
+        s = Sanitizer()
+        out = s.sanitize_events([(0, 1, 2, 5.0), (1, 1, 2, 1.0)])
+        assert len(out) == 1
+        assert s.report.repaired == {}
+        assert s.report.dropped == {"duplicate": 1}
+
+    def test_out_of_order_reordered_within_buffer(self):
+        s = Sanitizer(buffer_size=4)
+        out = s.sanitize_events([(0, 1, 2), (5, 3, 4), (2, 5, 6)])
+        assert [e.time for e in out] == [0.0, 2.0, 5.0]
+        assert s.report.repaired == {"out-of-order": 1}
+
+    def test_out_of_order_clamped_past_buffer_horizon(self):
+        s = Sanitizer(buffer_size=0)
+        out = s.sanitize_events([(0, 1, 2), (5, 3, 4), (2, 5, 6)])
+        # With no buffer, the late event cannot be reordered; its
+        # timestamp is clamped up to the last emitted time.
+        assert [e.time for e in out] == [0.0, 5.0, 5.0]
+        assert (e.u for e in out)  # stream kept every edge
+        assert s.report.repaired == {"out-of-order": 1}
+
+    def test_emitted_times_always_non_decreasing(self):
+        s = Sanitizer(buffer_size=2)
+        times = [7, 3, 9, 1, 4, 8, 2, 6, 5, 0]
+        out = s.sanitize_events(
+            [(t, 2 * i, 2 * i + 1) for i, t in enumerate(times)]
+        )
+        emitted = [e.time for e in out]
+        assert emitted == sorted(emitted)
+        assert len(out) == len(times)
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            Sanitizer(buffer_size=-1)
+
+
+class TestStrictPolicy:
+    def test_strict_raises_with_rule_and_line(self):
+        s = Sanitizer({"self-loop": "strict"})
+        s.feed(0.0, 1, 2)
+        with pytest.raises(SanitizationError, match=r"line 7: \[self-loop\]"):
+            s.feed(1.0, 3, 3, lineno=7)
+
+    def test_strict_parse_raises(self):
+        s = Sanitizer({"parse": "strict"})
+        with pytest.raises(SanitizationError, match=r"\[parse\]"):
+            s.feed_parse_error(3, "garbage", "bad fields", "fields")
+
+    def test_error_carries_rule_and_lineno(self):
+        s = Sanitizer({"deletion": "strict"})
+        try:
+            s.feed(0.0, 1, 2, 0.0, lineno=12)
+        except SanitizationError as exc:
+            assert exc.rule == "deletion"
+            assert exc.lineno == 12
+        else:
+            pytest.fail("expected SanitizationError")
+
+
+class TestQuarantinePolicy:
+    def test_diverted_event_keeps_provenance(self):
+        s = Sanitizer({"deletion": "quarantine"})
+        out = s.sanitize_events([(0, 1, 2, 1.0), (1, 3, 4, 0.0)])
+        assert len(out) == 1
+        assert s.report.quarantined == {"deletion": 1}
+        (rec,) = s.records
+        assert rec.rule == "deletion"
+        assert (rec.u, rec.v, rec.weight) == (3, 4, 0.0)
+        assert rec.seq == 1
+
+    def test_quarantined_event_does_not_claim_edge_state(self):
+        # A quarantined duplicate-with-higher-weight must not update the
+        # first-seen weight; the next clean observation still collapses
+        # against the original.
+        s = Sanitizer({"weight-increase": "quarantine"})
+        out = s.sanitize_events([(0, 1, 2, 1.0), (1, 1, 2, 9.0), (2, 1, 2, 1.0)])
+        assert len(out) == 1
+        assert out[0].weight == 1.0
+        assert s.report.quarantined == {"weight-increase": 1}
+        assert s.report.dropped == {"duplicate": 1}
+
+
+class TestLifecycle:
+    def test_finalize_without_flush_raises(self):
+        s = Sanitizer(buffer_size=8)
+        s.feed(0.0, 1, 2)
+        with pytest.raises(IngestError, match="flush"):
+            s.finalize()
+
+    def test_feed_after_finalize_raises(self):
+        s = Sanitizer()
+        s.sanitize_events([(0, 1, 2)])
+        with pytest.raises(IngestError, match="finalized"):
+            s.feed(1.0, 3, 4)
+
+    def test_double_finalize_raises(self):
+        s = Sanitizer()
+        s.sanitize_events([(0, 1, 2)])
+        with pytest.raises(IngestError, match="finalized"):
+            s.finalize()
+
+    def test_finalize_emits_health_event(self):
+        with capture_events() as events:
+            s = Sanitizer()
+            s.sanitize_events([(0, 1, 2), (1, 3, 3)])
+        health = [fields for kind, fields in events
+                  if kind == "ingest.health"]
+        assert len(health) == 1
+        assert health[0]["dropped"] == 1
+        assert health[0]["clean"] is False
+
+
+class TestReport:
+    def test_clean_report(self):
+        s = Sanitizer()
+        s.sanitize_events([(0, 1, 2), (1, 2, 3)])
+        assert s.report.clean
+        assert s.report.total_issues() == 0
+        assert "clean" in s.report.summary()
+
+    def test_parse_error_categories_bounded(self):
+        report = StreamHealthReport()
+        for i in range(MAX_ERROR_CATEGORIES + 5):
+            report.record_parse_error(f"cat{i}")
+        assert len(report.parse_errors) == MAX_ERROR_CATEGORIES + 1
+        assert report.parse_errors[OVERFLOW_CATEGORY] == 5
+        assert report.malformed == MAX_ERROR_CATEGORIES + 5
+
+    def test_payload_is_json_stable(self):
+        s = Sanitizer()
+        s.sanitize_events([(0, 1, 2), (1, 1, 2), (2, 3, 3)])
+        a = json.dumps(s.report.to_payload(), sort_keys=True)
+        t = Sanitizer()
+        t.sanitize_events([(0, 1, 2), (1, 1, 2), (2, 3, 3)])
+        b = json.dumps(t.report.to_payload(), sort_keys=True)
+        assert a == b
+
+
+DIRTY = (
+    "# time\tu\tv\tweight\n"
+    "0\t1\t2\t5.0\n"
+    "1\t3\t3\t1.0\n"
+    "not a data line\n"
+    "2\t1\t2\t9.0\n"
+    "1.5\t4\t5\t2.0\n"
+    "3\t6\t7\t0.0\n"
+    "4\t8\t9\t1.0\n"
+)
+
+#: Pinned golden output: sanitizing DIRTY under default policies must
+#: produce exactly these bytes, on every platform, forever.  If a code
+#: change alters this, that change broke byte-determinism (or
+#: deliberately changed the format and must update the pin).
+GOLDEN_SANITIZED = (
+    "# time\tu\tv\tweight\n"
+    "0.0\t1\t2\t5.0\n"
+    "1.5\t4\t5\t2.0\n"
+    "4.0\t8\t9\t1.0\n"
+)
+
+
+class TestByteDeterminism:
+    def _sanitize_file(self, tmp_path, name):
+        src = tmp_path / f"{name}.tsv"
+        src.write_text(DIRTY)
+        out = tmp_path / f"{name}.clean.tsv"
+        sanitizer = Sanitizer()
+        temporal = read_edge_stream(src, sanitizer=sanitizer)
+        write_edge_stream(temporal, out)
+        return out.read_bytes(), sanitizer.report.to_payload()
+
+    def test_sanitized_stream_matches_golden_bytes(self, tmp_path):
+        data, payload = self._sanitize_file(tmp_path, "a")
+        assert data == GOLDEN_SANITIZED.encode()
+        assert payload["lines"] == 7
+        assert payload["parsed"] == 6
+        assert payload["emitted"] == 3
+        assert payload["malformed"] == 1
+        assert payload["repaired"] == {"weight-increase": 1}
+        assert payload["dropped"] == {
+            "deletion": 1, "duplicate": 1, "self-loop": 1,
+        }
+        assert payload["parse_errors"] == {"fields": 1}
+
+    def test_same_bytes_same_everything(self, tmp_path):
+        data_a, payload_a = self._sanitize_file(tmp_path, "a")
+        data_b, payload_b = self._sanitize_file(tmp_path, "b")
+        assert data_a == data_b
+        payload_a.pop("source"), payload_b.pop("source")
+        assert payload_a == payload_b

@@ -32,9 +32,10 @@ def codes(violations) -> list:
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     assert [r.code for r in all_rules()] == [
         "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        "R009",
     ]
     for r in all_rules():
         assert r.invariant  # every rule documents what it protects
@@ -145,7 +146,7 @@ def test_r004_passes_charging_function_and_engine_module():
     engine = lint(
         """
         from repro.graph.traversal import bfs_distances
-        def helper(g, s):
+        def helper(g: object, s: int) -> dict:
             return bfs_distances(g, s)
         """,
         path="repro/graph/landmarks.py",
@@ -284,6 +285,87 @@ def test_r008_passes_module_level_task():
             return executor.map(_task, items)
     """)
     assert found == []
+
+
+# ----------------------------------------------------------------------
+# R009 — untyped defs in strict-profile packages
+# ----------------------------------------------------------------------
+UNTYPED = """
+    def helper(x, y):
+        return x + y
+"""
+
+PARTIALLY_TYPED = """
+    def helper(x: int, y) -> int:
+        return x + y
+"""
+
+FULLY_TYPED = """
+    class Gate:
+        def __init__(self, limit: int):
+            self.limit = limit
+
+        @staticmethod
+        def of(limit: int) -> "Gate":
+            return Gate(limit)
+
+        def admit(self, n: int, *rest: int, cap: int = 0,
+                  **extra: object) -> bool:
+            return n <= self.limit
+"""
+
+
+def test_r009_flags_untyped_def_in_strict_package():
+    found = lint(UNTYPED, path="repro/ingest/helpers.py")
+    # Two unannotated parameters plus the missing return annotation.
+    assert codes(found) == ["R009", "R009", "R009"]
+
+
+def test_r009_flags_incomplete_annotations():
+    found = lint(PARTIALLY_TYPED, path="repro/graph/util.py")
+    assert codes(found) == ["R009"]
+    assert "parameter 'y'" in found[0].message
+
+
+def test_r009_ignores_non_strict_packages():
+    assert lint(UNTYPED, path="repro/datasets/helpers.py") == []
+    assert lint(UNTYPED, path="repro/lint/rules/example.py") == []
+
+
+def test_r009_passes_fully_typed_code():
+    # self/cls are excused, __init__ may omit its return annotation,
+    # *args/**kwargs count as parameters, staticmethods get no excuse.
+    assert lint(FULLY_TYPED, path="repro/ingest/gate.py") == []
+
+
+def test_r009_flags_untyped_staticmethod_first_param():
+    found = lint("""
+        class C:
+            @staticmethod
+            def make(cls) -> "C":
+                return C()
+    """, path="repro/core/c.py")
+    assert codes(found) == ["R009"]
+
+
+def test_r009_strict_packages_match_pyproject():
+    """The AST gate and the mypy override list enforce the same set."""
+    tomllib = pytest.importorskip("tomllib")  # stdlib from 3.11
+
+    from repro.lint.rules.typing_gate import STRICT_PACKAGES
+
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    config = tomllib.loads(pyproject.read_text())
+    strict_modules = set()
+    for override in config["tool"]["mypy"]["overrides"]:
+        if override.get("disallow_untyped_defs"):
+            strict_modules.update(override["module"])
+    assert "repro.ingest.*" in strict_modules
+    from_rule = {
+        prefix.rstrip("/").replace("/", ".") + ".*"
+        for prefix in STRICT_PACKAGES
+    }
+    assert from_rule == strict_modules
 
 
 # ----------------------------------------------------------------------
