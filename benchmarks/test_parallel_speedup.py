@@ -6,7 +6,7 @@ are bit-identical, and reports the speedup.  With ``REPRO_WRITE_BENCH``
 set, writes the ``BENCH_parallel.json`` baseline at the repository root,
 stamped with the host's provenance (CPU count, platform, start method) —
 a single-core host records its honest 1.0× numbers, and the CI gate in
-``scripts/check_bench_parallel.py`` only enforces a speedup floor for
+``scripts/check_bench.py`` only enforces a speedup floor for
 baselines recorded on multi-core hosts.
 """
 

@@ -1,0 +1,193 @@
+"""Validate the committed ``BENCH_*.json`` benchmark baselines.
+
+Discovers every ``BENCH_*.json`` at the repository root (or takes
+explicit paths), validates each file's schema and host provenance, and
+enforces a per-schema speedup floor on the best recorded speedup:
+
+* ``bench-parallel/v1`` (``BENCH_parallel.json``) — floor 1.0×, only
+  enforced for baselines recorded on a multi-core host: a single-core
+  container can at best tie serial execution and pays pool overhead, so
+  its honest sub-1.0 numbers are provenance, not regressions.
+* ``bench-incremental/v1`` (``BENCH_incremental.json``) — floor 1.3× on
+  the best dataset.  The win is algorithmic, so it must exist on any
+  host.
+
+``--min-speedup`` overrides every schema's default floor (the CI
+bench-gate uses it to re-check freshly regenerated smoke baselines);
+``--no-floor`` validates structure and provenance only.
+
+Usage::
+
+    python scripts/check_bench.py [paths ...]
+                                  [--min-speedup X | --no-floor]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_HOST_FIELDS = ("cpus", "platform", "start_method")
+
+
+def _check_parallel(baseline: dict) -> List[str]:
+    problems = []
+    timings = baseline.get("timings_s")
+    if not isinstance(timings, dict) or "workers1" not in timings:
+        problems.append("must time workers=1")
+    elif any(not isinstance(t, (int, float)) or t <= 0
+             for t in timings.values()):
+        problems.append("timings must be positive")
+    return problems
+
+
+def _check_incremental(baseline: dict) -> List[str]:
+    problems = []
+    datasets = baseline.get("datasets")
+    if not isinstance(datasets, dict) or not datasets:
+        return ["must record at least one dataset"]
+    for name, row in datasets.items():
+        for field in ("full_s", "incremental_s", "speedup"):
+            value = row.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"dataset {name!r}: bad {field}")
+    return problems
+
+
+@dataclass(frozen=True)
+class SchemaSpec:
+    """What one benchmark-baseline schema requires."""
+
+    required: tuple
+    default_floor: float
+    #: Parallel speedups are hardware-dependent; algorithmic ones are not.
+    floor_needs_multicore: bool
+    extra_check: Callable[[dict], List[str]]
+
+
+SCHEMAS: Dict[str, SchemaSpec] = {
+    "bench-parallel/v1": SchemaSpec(
+        required=("schema", "dataset", "scale", "nodes", "edges", "host",
+                  "timings_s", "speedup"),
+        default_floor=1.0,
+        floor_needs_multicore=True,
+        extra_check=_check_parallel,
+    ),
+    "bench-incremental/v1": SchemaSpec(
+        required=("schema", "scale", "host", "datasets", "speedup"),
+        default_floor=1.3,
+        floor_needs_multicore=False,
+        extra_check=_check_incremental,
+    ),
+}
+
+
+def discover(root: Path = ROOT) -> List[Path]:
+    """Every committed benchmark baseline at the repository root."""
+    return sorted(root.glob("BENCH_*.json"))
+
+
+def check(path: Path, min_speedup: Optional[float],
+          use_default_floor: bool) -> int:
+    """Validate one baseline; returns 0 when clean, 1 otherwise."""
+    try:
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"{path} is missing", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+
+    spec = SCHEMAS.get(baseline.get("schema"))
+    if spec is None:
+        known = ", ".join(sorted(SCHEMAS))
+        print(f"{path.name}: unknown schema {baseline.get('schema')!r} "
+              f"(known: {known})", file=sys.stderr)
+        return 1
+
+    problems = [f"lacks field {f!r}" for f in spec.required
+                if f not in baseline]
+    host = baseline.get("host")
+    if not isinstance(host, dict):
+        problems.append("host provenance must be an object")
+    else:
+        problems += [f"host provenance lacks {f!r}" for f in _HOST_FIELDS
+                     if f not in host]
+    speedup = baseline.get("speedup")
+    if not isinstance(speedup, dict) or not speedup:
+        problems.append("must record at least one speedup")
+    elif any(not isinstance(s, (int, float)) or s <= 0
+             for s in speedup.values()):
+        problems.append("speedups must be positive")
+    if not problems:
+        problems += spec.extra_check(baseline)
+    if problems:
+        for problem in problems:
+            print(f"{path.name}: {problem}", file=sys.stderr)
+        return 1
+
+    cpus = int(host.get("cpus") or 1)
+    best = max(speedup.values())
+    floor = min_speedup if min_speedup is not None else (
+        spec.default_floor if use_default_floor else None
+    )
+    print(
+        f"{path.name}: {baseline['schema']} @ scale {baseline['scale']}, "
+        f"recorded on {cpus} cpu(s), best speedup {best:.2f}x"
+        + (f" (floor {floor:.2f}x)" if floor is not None else "")
+    )
+    if floor is None:
+        return 0
+    if spec.floor_needs_multicore and cpus < 2:
+        print(
+            f"  single-core host recorded the baseline; "
+            f"skipping the {floor:.2f}x floor"
+        )
+        return 0
+    if best < floor:
+        print(
+            f"{path.name}: best speedup {best:.2f}x is below the "
+            f"required {floor:.2f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="baselines to check (default: every BENCH_*.json at the "
+             "repository root)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="override every schema's default floor",
+    )
+    parser.add_argument(
+        "--no-floor", action="store_true",
+        help="validate structure and provenance only",
+    )
+    args = parser.parse_args(argv)
+    if args.no_floor and args.min_speedup is not None:
+        parser.error("--no-floor and --min-speedup are mutually exclusive")
+    paths = args.paths or discover()
+    if not paths:
+        print("no BENCH_*.json baselines found", file=sys.stderr)
+        return 1
+    return max(
+        check(p, args.min_speedup, use_default_floor=not args.no_floor)
+        for p in paths
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -164,15 +164,17 @@ def cmd_truth(args) -> int:
     temporal = _load_input(args.input, args.scale, args.seed)
     g1, g2 = _snapshots(temporal, args.split)
     if args.k is not None:
-        pairs = top_k_converging_pairs(g1, g2, k=args.k)
+        pairs = top_k_converging_pairs(g1, g2, k=args.k, engine=args.engine)
     else:
-        hist = delta_histogram(g1, g2)
+        hist = delta_histogram(g1, g2, engine=args.engine)
         positive = [d for d in hist if d > 0]
         if not positive:
             print("no converging pairs")
             return 0
         delta = max(1, max(positive) - args.delta_offset)
-        pairs = converging_pairs_at_threshold(g1, g2, delta)
+        pairs = converging_pairs_at_threshold(
+            g1, g2, delta, engine=args.engine
+        )
         print(f"δ = {delta:g} (Δmax = {max(positive):g}), k = {len(pairs)}")
     _print_pairs(pairs, args.limit)
     return 0
@@ -552,6 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="δ = Δmax − offset when --k is absent")
     truth.add_argument("--limit", type=int, default=20,
                        help="pairs to print")
+    truth.add_argument("--engine", default="auto",
+                       choices=["auto", "incremental", "csr", "dict"],
+                       help="ground-truth engine (auto: incremental "
+                            "delta-BFS for unweighted snapshots)")
     truth.set_defaults(func=cmd_truth)
 
     topk = subs.add_parser("topk", help="budgeted top-k (Algorithm 1)")

@@ -206,19 +206,30 @@ def _csr_rows_task(
 
     ``spec`` is ``(i1, i2)`` — the candidate's index in each snapshot's
     CSR view, or ``-1`` for a row the selector already cached (free).
+    The worker state carries one :class:`SnapshotDelta` shipped once per
+    pool; when both rows are fresh the t2 row is an incremental repair
+    of the t1 traversal rather than a second traversal (bit-identical
+    either way).  A candidate whose t1 row is cached in the parent has
+    no level array here to repair from, so its t2 row falls back to a
+    full traversal — the worst-case path documented in docs/perf.md.
     """
     i1, i2 = spec
     from repro.graph.csr import bfs_levels
+    from repro.graph.incremental import repair_levels
 
-    state = worker_state()
+    delta = worker_state()["delta"]
     lv1 = None
+    lv2 = None
     if i1 >= 0:
         # reprolint: disable=R004 -- charged in the parent's scoring loop before dispatch (ledger stays in-parent)
-        lv1 = bfs_levels(state["csr1"], i1).astype(np.int64)
-    lv2 = None
-    if i2 >= 0:
+        raw1 = bfs_levels(delta.csr1, i1)
+        lv1 = raw1.astype(np.int64)
+        if i2 >= 0:
+            # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged in-parent
+            lv2 = repair_levels(delta, raw1)[delta.mapping].astype(np.int64)
+    if i2 >= 0 and lv2 is None:
         # reprolint: disable=R004 -- charged in the parent's scoring loop before dispatch (ledger stays in-parent)
-        lv2 = bfs_levels(state["csr2"], i2)[state["align"]].astype(np.int64)
+        lv2 = bfs_levels(delta.csr2, i2)[delta.mapping].astype(np.int64)
     return lv1, lv2
 
 
@@ -232,18 +243,27 @@ def _score_candidates_csr(
     Distance rows — cached dicts from the selector or freshly charged
     CSR BFS runs — are held as level arrays aligned to ``G_t1``'s node
     order, and each candidate's Δ vector is a single numpy subtraction.
-    The budget accounting is identical to the dict path: a cached row is
-    free, a missing one is charged to ``topk`` on its snapshot.  With
-    ``workers > 1`` the fresh rows are computed by a process pool first;
-    charging and scoring stay in the parent, in candidate order.
+    A candidate needing both rows pays one t1 traversal plus an
+    incremental repair into the t2 row (:mod:`repro.graph.incremental`)
+    through a :class:`SnapshotDelta` built once per run; a candidate
+    whose t1 row came cached from the selector falls back to a full t2
+    traversal.  The budget accounting is identical to the dict path
+    either way: a cached row is free, a missing one is charged to
+    ``topk`` on its snapshot — the repair is an implementation detail of
+    *computing* the charged t2 row, never a way to skip its charge.
+    With ``workers > 1`` the fresh rows are computed by a process pool
+    first (the delta ships to each worker once, via the pool
+    initializer); charging and scoring stay in the parent, in candidate
+    order.
     """
-    from repro.graph.csr import CSRGraph, UNREACHED, bfs_levels
+    from repro.graph.csr import UNREACHED, bfs_levels
+    from repro.graph.incremental import SnapshotDelta, repair_levels
 
-    csr1 = CSRGraph.from_graph(g1)
-    csr2 = CSRGraph.from_graph(g2)
+    delta = SnapshotDelta.from_graphs(g1, g2)
+    csr1, csr2 = delta.csr1, delta.csr2
     n = csr1.num_nodes
     nodes = csr1.nodes
-    align = np.array([csr2.index[u] for u in nodes], dtype=np.int64)
+    align = delta.mapping
 
     fresh: Dict[Node, tuple] = {}
     if workers > 1:
@@ -255,9 +275,7 @@ def _score_candidates_csr(
             for c in candidates
         ]
         if any(i1 >= 0 or i2 >= 0 for i1, i2 in specs):
-            executor = ParallelExecutor(
-                workers, state={"csr1": csr1, "csr2": csr2, "align": align}
-            )
+            executor = ParallelExecutor(workers, state={"delta": delta})
             rows = executor.map(_csr_rows_task, specs, unit="topk.sssp")
             fresh = dict(zip(candidates, rows))
 
@@ -272,22 +290,27 @@ def _score_candidates_csr(
     scored: Dict[tuple, ConvergingPair] = {}
     for c in candidates:
         pre1, pre2 = fresh.get(c, (None, None))
+        raw1: Optional[np.ndarray] = None
         cached1 = result.d1_rows.get(c)
         if cached1 is None:
             budget.charge("topk", "g1", 1)
-            lv1 = (
-                pre1 if pre1 is not None
-                else bfs_levels(csr1, csr1.index[c]).astype(np.int64)
-            )
+            if pre1 is not None:
+                lv1 = pre1
+            else:
+                raw1 = bfs_levels(csr1, csr1.index[c])
+                lv1 = raw1.astype(np.int64)
         else:
             lv1 = row_to_levels(cached1, csr1.index)
         cached2 = result.d2_rows.get(c)
         if cached2 is None:
             budget.charge("topk", "g2", 1)
-            lv2 = (
-                pre2 if pre2 is not None
-                else bfs_levels(csr2, csr2.index[c])[align].astype(np.int64)
-            )
+            if pre2 is not None:
+                lv2 = pre2
+            elif raw1 is not None:
+                # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged above
+                lv2 = repair_levels(delta, raw1)[align].astype(np.int64)
+            else:
+                lv2 = bfs_levels(csr2, csr2.index[c])[align].astype(np.int64)
         else:
             lv2 = row_to_levels(cached2, csr1.index)
         reached = lv1 != UNREACHED

@@ -109,14 +109,28 @@ def pair_delta(g1: Graph, g2: Graph, u: Node, v: Node) -> Optional[float]:
     return d1 - d2
 
 
-def _use_csr_engine(g1: Graph, g2: Graph, engine: str) -> bool:
-    if engine == "csr":
-        return True
-    if engine == "dict":
-        return False
+#: Recognised values of the ``engine`` argument, in resolution order.
+ENGINES = ("auto", "incremental", "csr", "dict")
+
+
+def _resolve_engine(g1: Graph, g2: Graph, engine: str) -> str:
+    """Resolve the requested engine to ``incremental``/``csr``/``dict``.
+
+    ``auto`` picks the incremental delta-BFS engine whenever both
+    snapshots are unweighted (it subsumes the plain CSR engine: same
+    vectorised scoring, but the t2 traversal is a repair of the t1 one —
+    see :mod:`repro.graph.incremental`), and the dict engine otherwise.
+    Explicit names are honoured as given.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {'/'.join(ENGINES)}, got {engine!r}"
+        )
     if engine != "auto":
-        raise ValueError(f"engine must be auto/csr/dict, got {engine!r}")
-    return not (g1.is_weighted() or g2.is_weighted())
+        return engine
+    if g1.is_weighted() or g2.is_weighted():
+        return "dict"
+    return "incremental"
 
 
 def delta_histogram(
@@ -130,16 +144,22 @@ def delta_histogram(
 
     ``engine`` selects the implementation: ``"dict"`` streams Python
     distance maps (works for weighted graphs), ``"csr"`` runs the
-    vectorised unweighted fast path, and ``"auto"`` (default) picks
-    ``csr`` whenever both snapshots are unweighted.  Both engines return
-    identical histograms — a property the test suite pins down.
+    vectorised unweighted fast path recomputing both traversals,
+    ``"incremental"`` repairs each t1 traversal into its t2 counterpart
+    through the precomputed snapshot delta, and ``"auto"`` (default)
+    picks ``incremental`` whenever both snapshots are unweighted.  All
+    engines return identical histograms — a property the test suite
+    pins down.
     """
     if validate:
         check_snapshot_pair(g1, g2)
-    if _use_csr_engine(g1, g2, engine):
+    resolved = _resolve_engine(g1, g2, engine)
+    if resolved != "dict":
         from repro.core.fastpairs import csr_delta_histogram
 
-        return csr_delta_histogram(g1, g2)
+        return csr_delta_histogram(
+            g1, g2, incremental=resolved == "incremental"
+        )
     rank = {u: i for i, u in enumerate(g1.nodes())}
     hist: Counter = Counter()
     for u, d1, d2 in _delta_rows(g1, g2, validate=False):
@@ -185,10 +205,14 @@ def converging_pairs_at_threshold(
     if validate:
         check_snapshot_pair(g1, g2)
     out: List[ConvergingPair] = []
-    if _use_csr_engine(g1, g2, engine):
+    resolved = _resolve_engine(g1, g2, engine)
+    if resolved != "dict":
         from repro.core.fastpairs import csr_pairs_at_threshold
 
-        for u, v, d1uv, d2uv in csr_pairs_at_threshold(g1, g2, delta_min):
+        rows = csr_pairs_at_threshold(
+            g1, g2, delta_min, incremental=resolved == "incremental"
+        )
+        for u, v, d1uv, d2uv in rows:
             cu, cv = canonical_pair(u, v)
             out.append(ConvergingPair(cu, cv, d1uv, d2uv))
         out.sort(key=ConvergingPair.sort_key)
@@ -208,20 +232,22 @@ def converging_pairs_at_threshold(
 
 
 def top_k_converging_pairs(
-    g1: Graph, g2: Graph, k: int, validate: bool = True
+    g1: Graph, g2: Graph, k: int, validate: bool = True,
+    engine: str = "auto",
 ) -> List[ConvergingPair]:
     """The exact top-k converging pairs (Problem 1), ground-truth solution.
 
     Two streaming passes: a Δ histogram to locate the k-th score, then a
     collection pass at that threshold.  Residual ties at the boundary are
     broken deterministically by :meth:`ConvergingPair.sort_key`, so equal
-    inputs always yield the same k pairs.
+    inputs always yield the same k pairs.  ``engine`` follows
+    :func:`delta_histogram`'s convention and applies to both passes.
 
     Returns fewer than k pairs when fewer than k pairs have Δ > 0.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    hist = delta_histogram(g1, g2, validate=validate)
+    hist = delta_histogram(g1, g2, validate=validate, engine=engine)
     # Find the smallest positive threshold with at least k pairs above it.
     threshold = None
     cumulative = 0
@@ -232,7 +258,9 @@ def top_k_converging_pairs(
             break
     if threshold is None:
         return []
-    pairs = converging_pairs_at_threshold(g1, g2, threshold, validate=False)
+    pairs = converging_pairs_at_threshold(
+        g1, g2, threshold, validate=False, engine=engine
+    )
     return pairs[:k]
 
 

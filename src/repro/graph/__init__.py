@@ -45,6 +45,12 @@ from repro.graph.csr import (
     bfs_distances_fast,
     bfs_levels,
 )
+from repro.graph.incremental import (
+    SnapshotDelta,
+    levels_pair,
+    levels_pair_indexed,
+    repair_levels,
+)
 from repro.graph.stats import (
     average_clustering,
     degree_assortativity,
@@ -95,6 +101,10 @@ __all__ = [
     "all_sources_levels",
     "bfs_distances_fast",
     "bfs_levels",
+    "SnapshotDelta",
+    "levels_pair",
+    "levels_pair_indexed",
+    "repair_levels",
     "average_clustering",
     "degree_assortativity",
     "degree_gini",

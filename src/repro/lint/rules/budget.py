@@ -29,6 +29,12 @@ SSSP_ENTRY_POINTS = frozenset({
     "bfs_distances_fast",
     "all_pairs_distances",
     "all_sources_levels",
+    # Incremental delta-BFS: a repair produces a full t2 level array, so
+    # it *is* the second SSSP of a snapshot pair and charges like one
+    # (the ledger counts SSSP results obtained, not edges scanned).
+    "repair_levels",
+    "levels_pair",
+    "levels_pair_indexed",
 })
 
 #: The engine package itself — the layer the entry points live in.

@@ -67,6 +67,17 @@ class TestTruth:
         out = capsys.readouterr().out
         assert out.count("\n") <= 10  # header + 5 pairs and maybe ellipsis
 
+    def test_engine_choice_is_byte_invisible(self, capsys):
+        """The engine flag is an execution detail, never a result."""
+        outputs = []
+        for engine in ["incremental", "csr", "dict"]:
+            rc = main(["truth", "facebook", "--scale", "0.1",
+                       "--delta-offset", "1", "--engine", engine])
+            assert rc == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert "δ =" in outputs[0]
+
 
 class TestTopk:
     def test_budgeted_run(self, capsys):

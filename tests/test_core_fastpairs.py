@@ -16,13 +16,17 @@ from conftest import random_snapshot_pair
 
 
 class TestEngineDispatch:
-    def test_auto_picks_csr_for_unweighted(self, shortcut_pair):
+    def test_auto_picks_incremental_for_unweighted(self, shortcut_pair):
         g1, g2 = shortcut_pair
-        # Same result either way; smoke the dispatch paths explicitly.
+        from repro.core.pairs import _resolve_engine
+
+        assert _resolve_engine(g1, g2, "auto") == "incremental"
+        # Same result every way; smoke the dispatch paths explicitly.
         auto = delta_histogram(g1, g2, engine="auto")
+        inc = delta_histogram(g1, g2, engine="incremental")
         csr = delta_histogram(g1, g2, engine="csr")
         dict_ = delta_histogram(g1, g2, engine="dict")
-        assert auto == csr == dict_
+        assert auto == inc == csr == dict_
 
     def test_auto_falls_back_for_weighted(self):
         g1 = Graph([(0, 1, 2.0), (1, 2, 2.0)])
@@ -51,25 +55,29 @@ class TestExampleEquivalence:
     @pytest.mark.parametrize("seed", [121, 122, 123, 124])
     def test_histograms_identical(self, seed):
         g1, g2 = random_snapshot_pair(num_nodes=40, num_edges=110, seed=seed)
-        assert delta_histogram(g1, g2, engine="dict") == csr_delta_histogram(
-            g1, g2
-        )
+        reference = delta_histogram(g1, g2, engine="dict")
+        assert reference == csr_delta_histogram(g1, g2)
+        assert reference == csr_delta_histogram(g1, g2, incremental=True)
 
     @pytest.mark.parametrize("seed", [125, 126])
     @pytest.mark.parametrize("delta_min", [1, 2])
-    def test_threshold_pairs_identical(self, seed, delta_min):
+    @pytest.mark.parametrize("fast_engine", ["csr", "incremental"])
+    def test_threshold_pairs_identical(self, seed, delta_min, fast_engine):
         g1, g2 = random_snapshot_pair(num_nodes=40, num_edges=110, seed=seed)
         slow = converging_pairs_at_threshold(
             g1, g2, delta_min, engine="dict"
         )
-        fast = converging_pairs_at_threshold(g1, g2, delta_min, engine="csr")
+        fast = converging_pairs_at_threshold(
+            g1, g2, delta_min, engine=fast_engine
+        )
         assert [(p.u, p.v, p.d1, p.d2) for p in slow] == [
             (p.u, p.v, p.d1, p.d2) for p in fast
         ]
 
-    def test_top_k_unchanged_by_engine(self, shortcut_pair):
+    @pytest.mark.parametrize("engine", ["auto", "incremental", "csr", "dict"])
+    def test_top_k_unchanged_by_engine(self, shortcut_pair, engine):
         g1, g2 = shortcut_pair
-        top = top_k_converging_pairs(g1, g2, k=3)
+        top = top_k_converging_pairs(g1, g2, k=3, engine=engine)
         assert top[0].pair == (0, 5)
 
     def test_raw_rows_have_index_order(self, shortcut_pair):
@@ -98,9 +106,9 @@ class TestEquivalenceProperty:
     @given(snapshot_pair_strategy())
     def test_histogram_engines_agree(self, pair):
         g1, g2 = pair
-        assert delta_histogram(g1, g2, engine="dict") == delta_histogram(
-            g1, g2, engine="csr"
-        )
+        reference = delta_histogram(g1, g2, engine="dict")
+        assert reference == delta_histogram(g1, g2, engine="csr")
+        assert reference == delta_histogram(g1, g2, engine="incremental")
 
     @settings(max_examples=50, deadline=None)
     @given(snapshot_pair_strategy(), st.integers(min_value=1, max_value=4))

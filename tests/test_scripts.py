@@ -82,6 +82,88 @@ class TestGenerateApiDocs:
         assert apigen.main(["--check", "--out", str(stale)]) == 1
 
 
+class TestCheckBench:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        spec = importlib.util.spec_from_file_location(
+            "check_bench", SCRIPTS_DIR / "check_bench.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        # dataclass field-type resolution needs the module registered.
+        sys.modules["check_bench"] = module
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _incremental_baseline(speedup):
+        return {
+            "schema": "bench-incremental/v1",
+            "scale": 0.5,
+            "host": {"cpus": 1, "platform": "linux", "start_method": "fork"},
+            "datasets": {
+                "actors": {
+                    "nodes": 10, "edges_t2": 20, "new_edges": 5,
+                    "new_nodes": 1, "full_s": 0.2,
+                    "incremental_s": round(0.2 / speedup, 6),
+                    "speedup": speedup,
+                },
+            },
+            "speedup": {"actors": speedup},
+        }
+
+    def test_committed_baselines_pass_their_floors(self, checker):
+        assert checker.main([]) == 0
+
+    def test_discovers_all_committed_baselines(self, checker):
+        names = {p.name for p in checker.discover()}
+        assert {"BENCH_incremental.json", "BENCH_parallel.json"} <= names
+
+    def test_incremental_floor_violation_fails(self, checker, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_incremental.json"
+        path.write_text(json.dumps(self._incremental_baseline(1.1)))
+        assert checker.main([str(path)]) == 1
+        # Below-floor numbers still validate structurally.
+        assert checker.main([str(path), "--no-floor"]) == 0
+        assert checker.main([str(path), "--min-speedup", "1.0"]) == 0
+
+    def test_incremental_floor_is_not_cpu_gated(self, checker, tmp_path):
+        """Repair speedup is algorithmic — single-core hosts get no pass."""
+        import json
+
+        baseline = self._incremental_baseline(1.0)
+        baseline["host"]["cpus"] = 1
+        path = tmp_path / "BENCH_incremental.json"
+        path.write_text(json.dumps(baseline))
+        assert checker.main([str(path)]) == 1
+
+    def test_parallel_floor_skipped_on_single_core_host(self, checker):
+        committed = SCRIPTS_DIR.parent / "BENCH_parallel.json"
+        assert checker.main([str(committed), "--min-speedup", "100.0"]) == 0
+
+    def test_unknown_schema_rejected(self, checker, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_gpu.json"
+        path.write_text(json.dumps({"schema": "bench-gpu/v9"}))
+        assert checker.main([str(path)]) == 1
+
+    def test_missing_fields_rejected(self, checker, tmp_path):
+        import json
+
+        baseline = self._incremental_baseline(2.0)
+        del baseline["host"]["start_method"]
+        path = tmp_path / "BENCH_incremental.json"
+        path.write_text(json.dumps(baseline))
+        assert checker.main([str(path)]) == 1
+
+    def test_corrupt_json_rejected(self, checker, tmp_path):
+        path = tmp_path / "BENCH_incremental.json"
+        path.write_text("{not json")
+        assert checker.main([str(path)]) == 1
+
+
 class TestUpdateRegressionBands:
     @pytest.fixture(scope="class")
     def bandsgen(self):
