@@ -288,19 +288,25 @@ def cmd_monitor(args) -> int:
     def selector_factory():
         return get_selector(args.selector)
 
-    monitor = ConvergenceMonitor(
-        temporal,
-        selector_factory=selector_factory,
-        k=args.k,
-        m=args.m,
-        seed=args.seed or 0,
-        retry_policy=_retry_policy(args, args.seed or 0),
-        deadline_s=args.deadline_s,
-        on_error=args.on_error,
-        on_invalid_window=args.on_invalid_window,
-        checkpoint_store=_checkpoint_store(args),
-        resume=args.resume,
-    )
+    try:
+        monitor = ConvergenceMonitor(
+            temporal,
+            selector_factory=selector_factory,
+            k=args.k,
+            m=args.m,
+            seed=args.seed or 0,
+            retry_policy=_retry_policy(args, args.seed or 0),
+            deadline_s=args.deadline_s,
+            on_error=args.on_error,
+            on_invalid_window=args.on_invalid_window,
+            checkpoint_store=_checkpoint_store(args),
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        # The monitor validates its knob combinations (k/m bounds,
+        # on_error / on_invalid_window modes); a rejected combination is
+        # user input, not a bug — exit 2, like every other flag error.
+        raise CLIError(str(exc)) from None
     try:
         reports = monitor.run(checkpoints)
     except ValueError as exc:
@@ -329,6 +335,103 @@ def cmd_monitor(args) -> int:
         "recurrently converging nodes: "
         + (", ".join(str(u) for u in movers[:10]) if movers else "none")
     )
+    return 0
+
+
+def _chaos_hook_from_env():
+    """``REPRO_CHAOS_KILL=<point>[:<n>]`` -> a SIGKILL-at-nth hook.
+
+    The chaos acceptance suite sets this to die *mid-operation* (e.g.
+    ``wal.append.mid:3``) and then asserts that a recovering run is
+    byte-identical to an uninterrupted one.  Unset (production) means no
+    hook at all.
+    """
+    import os
+    import signal
+
+    spec = os.environ.get("REPRO_CHAOS_KILL")
+    if not spec:
+        return None
+    point, sep, nth_text = spec.partition(":")
+    try:
+        nth = int(nth_text) if sep else 1
+    except ValueError:
+        raise CLIError(
+            f"bad REPRO_CHAOS_KILL spec {spec!r}: expected <point>[:<n>]"
+        ) from None
+    seen = {"count": 0}
+
+    def hook(label: str) -> None:
+        if label == point:
+            seen["count"] += 1
+            if seen["count"] >= nth:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def cmd_advance(args) -> int:
+    from repro.runtime import (
+        ResourceGuard,
+        RuntimeConfig,
+        RuntimeRecoveryError,
+        StreamRuntime,
+        WALError,
+    )
+
+    if args.selector is not None:
+        try:
+            get_selector(args.selector)
+        except (KeyError, ValueError) as exc:
+            raise CLIError(str(exc)) from None
+    if args.max_restarts < 0:
+        raise CLIError(
+            f"--max-restarts must be >= 0, got {args.max_restarts}"
+        )
+    if args.max_batches is not None and args.max_batches < 1:
+        raise CLIError(
+            f"--max-batches must be >= 1, got {args.max_batches}"
+        )
+    try:
+        config = RuntimeConfig(
+            k=args.k,
+            batch_size=args.batch_size,
+            checkpoint_every=args.checkpoint_every,
+            selector=args.selector,
+            m=args.m,
+            seed=args.seed or 0,
+        )
+    except ValueError as exc:
+        # The config validates its own knob combinations (k/batch
+        # bounds, budgeted mode needing --m); a rejected combination is
+        # user input — exit 2, like every other flag error.
+        raise CLIError(str(exc)) from None
+    guard = None
+    if args.soft_memory_mb is not None or args.soft_time_s is not None:
+        try:
+            guard = ResourceGuard(
+                soft_memory_mb=args.soft_memory_mb,
+                soft_time_s=args.soft_time_s,
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+    temporal = _load_input(args.input, args.scale, args.seed)
+    try:
+        runtime = StreamRuntime(
+            temporal,
+            args.wal_dir,
+            config,
+            max_restarts=args.max_restarts,
+            workers=_check_workers(args.workers),
+            guard=guard,
+            chaos=_chaos_hook_from_env(),
+        )
+    except (WALError, RuntimeRecoveryError) as exc:
+        # A WAL/checkpoint directory this run cannot safely resume from
+        # is an operator-fixable state problem, not an internal bug.
+        raise CLIError(str(exc)) from None
+    report = runtime.run(max_batches=args.max_batches)
+    print(report.render(limit=args.limit))
     return 0
 
 
@@ -603,6 +706,45 @@ def build_parser() -> argparse.ArgumentParser:
                           "window, or repair the later snapshot")
     _add_resilience_options(mon)
     mon.set_defaults(func=cmd_monitor)
+
+    adv = subs.add_parser(
+        "advance",
+        help="crash-safe streaming advancement (WAL + checkpoints); "
+             "re-running the same --wal-dir resumes exactly where the "
+             "previous run stopped",
+    )
+    _add_input_options(adv, with_split=False)
+    adv.add_argument("--wal-dir", type=Path, required=True,
+                     help="durable state root: the write-ahead log plus "
+                          "the checkpoint store (see docs/runtime.md)")
+    adv.add_argument("--k", type=int, default=10,
+                     help="top-k pairs per window")
+    adv.add_argument("--batch-size", type=int, default=8,
+                     help="events per WAL-logged batch")
+    adv.add_argument("--checkpoint-every", type=int, default=4,
+                     help="batches per window close + checkpoint + "
+                          "WAL compaction")
+    adv.add_argument("--selector", default=None,
+                     help="close windows with the budgeted algorithm "
+                          "using this selector (default: exact top-k)")
+    adv.add_argument("--m", type=int, default=0,
+                     help="candidate budget for --selector windows")
+    adv.add_argument("--workers", type=int, default=1,
+                     help="process-pool workers for budgeted windows")
+    adv.add_argument("--max-restarts", type=int, default=3,
+                     help="lifetime window-computation restarts before "
+                          "the supervisor gives up")
+    adv.add_argument("--max-batches", type=int, default=None,
+                     help="stop (resumably) after this many new batches")
+    adv.add_argument("--soft-memory-mb", type=float, default=None,
+                     help="soft peak-RSS budget: checkpoint and shed "
+                          "instead of running into the OOM killer")
+    adv.add_argument("--soft-time-s", type=float, default=None,
+                     help="soft elapsed-time budget: checkpoint and "
+                          "shed when exceeded")
+    adv.add_argument("--limit", type=int, default=5,
+                     help="pairs to print per window")
+    adv.set_defaults(func=cmd_advance)
 
     val = subs.add_parser(
         "validate",

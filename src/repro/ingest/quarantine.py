@@ -148,12 +148,15 @@ class QuarantineStore:
 
     # ------------------------------------------------------------------
     def _write_atomic(self, path: Path, blob: bytes) -> None:
+        from repro.resilience.checkpoint import fsync_directory
+
         tmp = path.with_suffix(path.suffix + ".tmp")
         with tmp.open("wb") as fh:
             fh.write(blob)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_directory(self.directory)
 
     def save(
         self,

@@ -59,7 +59,10 @@ def replay_quarantine(
         If the store is missing/corrupt, the recorded source no longer
         exists, or the source bytes changed since the quarantine was
         written (checksum mismatch) — a replay over different bytes
-        would not be a replay.
+        would not be a replay.  The source is verified *twice*: before
+        the read, and again after it, so a writer racing the replay
+        (appending to a live stream file mid-read) is detected instead
+        of silently contributing events the recorded run never saw.
     """
     store = QuarantineStore(directory)
     run = store.load()
@@ -85,4 +88,12 @@ def replay_quarantine(
     from repro.datasets.io import read_edge_stream
 
     temporal = read_edge_stream(source, sanitizer=sanitizer)
+    final_sha = sha256_file(source)
+    if final_sha != run.source_sha256:
+        raise QuarantineError(
+            f"quarantined source {run.source!r} changed during replay "
+            f"(sha256 {final_sha[:12]}… != {run.source_sha256[:12]}…); "
+            "a concurrent writer raced the replay — rerun once the "
+            "stream is quiescent"
+        )
     return temporal, sanitizer

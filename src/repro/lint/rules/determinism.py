@@ -57,6 +57,7 @@ _CLOCK_NAMES = frozenset({
 #: machinery, where elapsed wall time is the domain object itself (and
 #: the clock is injectable for tests).
 R002_ALLOWED_PATHS = frozenset({
+    "repro/resilience/clock.py",
     "repro/resilience/events.py",
     "repro/resilience/policy.py",
 })

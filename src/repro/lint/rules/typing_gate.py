@@ -28,6 +28,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro/ingest/",
     "repro/parallel/",
     "repro/resilience/",
+    "repro/runtime/",
 )
 
 #: First-parameter names that never need an annotation in a method.

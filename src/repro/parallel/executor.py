@@ -255,6 +255,16 @@ class ParallelExecutor:
                 except (BrokenProcessPool, Exception) as exc:
                     self._record_failure(index, len(chunks[index]), exc, unit)
                     degraded.append(index)
+                else:
+                    # Liveness beacon: supervisors subscribe to this to
+                    # heartbeat a pool that is making progress (see
+                    # repro.runtime.supervisor.HeartbeatMonitor).
+                    log_event(
+                        "parallel.chunk_done",
+                        unit=unit,
+                        chunk=index,
+                        items=len(chunks[index]),
+                    )
 
         if degraded:
             _install_state(self._state)

@@ -8,7 +8,10 @@ JSON record per completed unit, keyed by whatever identifies the unit
 and survives the two classic failure modes:
 
 * **torn writes** — records are written to a temp file in the same
-  directory, fsynced, then :func:`os.replace`'d into place, so a record
+  directory, fsynced, then :func:`os.replace`'d into place, and the
+  parent directory entry is fsynced after the rename (without it, a
+  crash right after ``os.replace`` can lose the whole record on
+  filesystems that journal data but not directory updates), so a record
   either exists completely or not at all;
 * **corrupted records** — every record embeds a SHA-256 checksum of its
   canonical payload and a schema version; a record that fails either
@@ -49,6 +52,25 @@ def _canonical_key(key: Any) -> Any:
 def _checksum(payload: Any) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fsync_directory(directory: Path) -> None:
+    """Fsync a directory entry so a just-renamed file survives a crash.
+
+    ``os.replace`` makes the *file contents* atomic, but the rename
+    itself lives in the directory: until the directory inode is synced,
+    a power cut can roll the rename back.  Platforms whose directories
+    cannot be opened for fsync (Windows) skip silently — the rename is
+    still atomic there, only the durability window differs.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class CheckpointStore:
@@ -93,6 +115,7 @@ class CheckpointStore:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_directory(self.directory)
         return path
 
     def get(self, key: Any, default: Any = None) -> Any:

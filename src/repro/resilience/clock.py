@@ -1,0 +1,24 @@
+"""The one sanctioned monotonic-clock chokepoint outside tests.
+
+The determinism contract (reprolint R002, docs/static-analysis.md) bans
+clock reads everywhere results are computed: no wall-clock value may
+influence an output, an event payload, or a checkpoint.  But the runtime
+layer legitimately needs *elapsed* time — heartbeat staleness, soft time
+budgets, supervisor backoff — where the clock is the domain object, not
+an entropy leak.
+
+Those consumers import :func:`monotonic` from here instead of touching
+:mod:`time` directly, and always accept an injectable ``clock`` so tests
+substitute a fake and never wall-clock-wait.  Keeping the real read in
+one allowlisted module means R002 still catches every accidental clock
+dependency elsewhere.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic() -> float:
+    """Seconds from the process's monotonic clock (never wall time)."""
+    return time.monotonic()

@@ -21,10 +21,11 @@ accidentally special-case it.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, TypeVar
+from typing import BinaryIO, Callable, Optional, Tuple, TypeVar
 
 from repro.resilience.events import log_event
 
@@ -33,6 +34,36 @@ T = TypeVar("T")
 
 class InjectedFault(RuntimeError):
     """The failure raised by a fault injector (never by real code)."""
+
+
+class DiskFault(InjectedFault):
+    """Base class for injected storage failures.
+
+    Durability code (the WAL, checkpoint stores) treats these exactly
+    like the real :class:`OSError` they model — the subclass only tells
+    the *test* which schedule entry fired.
+    """
+
+
+class DiskFullFault(DiskFault):
+    """An injected ``ENOSPC``: the write fails before any byte lands."""
+
+
+class TornWriteFault(DiskFault):
+    """An injected torn write: a strict prefix of the payload landed.
+
+    Models a crash (or sector-boundary power cut) mid-``write`` — the
+    bytes before the tear are durable, the rest never happened.
+    """
+
+
+class FsyncFault(DiskFault):
+    """An injected ``fsync`` failure: the data may or may not be durable.
+
+    Models the "fsyncgate" class of failures — after a failed fsync the
+    page cache state is unknowable, so correct recovery code must treat
+    the whole record as unwritten.
+    """
 
 
 @dataclass(frozen=True)
@@ -124,3 +155,99 @@ class FaultInjector:
 
         wrapped.__name__ = getattr(fn, "__name__", "wrapped")
         return wrapped
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """A reproducible schedule of storage failures.
+
+    All indices are 1-based and counted per operation kind across the
+    injector's lifetime (writes and fsyncs have independent counters),
+    so two injectors built from the same plan fail the same operations.
+
+    Attributes
+    ----------
+    enospc_nth:
+        Write indices that fail with :class:`DiskFullFault` before any
+        byte reaches the file (a full disk rejects the append whole).
+    torn_nth:
+        Write indices that land only ``torn_fraction`` of the payload,
+        then raise :class:`TornWriteFault` — the torn-write/power-cut
+        case recovery must tolerate.
+    fsync_nth:
+        Fsync indices that raise :class:`FsyncFault`; the preceding
+        write's durability is then unknown and callers must treat the
+        record as never written.
+    torn_fraction:
+        Fraction of the payload that survives a torn write (at least
+        one byte is dropped so the tear is real).
+    """
+
+    enospc_nth: Tuple[int, ...] = ()
+    torn_nth: Tuple[int, ...] = ()
+    fsync_nth: Tuple[int, ...] = ()
+    torn_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.torn_fraction < 1.0:
+            raise ValueError(
+                f"torn_fraction must be in [0, 1), got {self.torn_fraction}"
+            )
+        indices = self.enospc_nth + self.torn_nth + self.fsync_nth
+        if any(n < 1 for n in indices):
+            raise ValueError("operation indices are 1-based and must be >= 1")
+
+
+class DiskFaultInjector:
+    """Applies a :class:`DiskFaultPlan` to file writes and fsyncs.
+
+    Durability layers (the WAL, the checkpoint store) route their raw
+    ``write``/``fsync`` calls through one of these when a test supplies
+    it; in production the injector is ``None`` and the same code path
+    calls the real OS primitives.  One injector counts operations across
+    every file it touches, like a single failing disk would.
+    """
+
+    def __init__(self, plan: DiskFaultPlan) -> None:
+        self.plan = plan
+        self.writes = 0
+        self.fsyncs = 0
+        self.faults = 0
+
+    def write(self, fh: BinaryIO, blob: bytes, unit: str = "write") -> None:
+        """Write ``blob`` to ``fh``, applying the plan's write schedule."""
+        self.writes += 1
+        index = self.writes
+        if index in self.plan.enospc_nth:
+            self.faults += 1
+            log_event("fault.disk", fault="enospc", unit=unit, op=index)
+            raise DiskFullFault(
+                f"injected ENOSPC on write {index} of {unit!r}"
+            )
+        if index in self.plan.torn_nth:
+            cut = min(len(blob) - 1, int(len(blob) * self.plan.torn_fraction))
+            cut = max(cut, 0)
+            fh.write(blob[:cut])
+            fh.flush()
+            self.faults += 1
+            log_event(
+                "fault.disk", fault="torn", unit=unit, op=index,
+                written=cut, dropped=len(blob) - cut,
+            )
+            raise TornWriteFault(
+                f"injected torn write on write {index} of {unit!r} "
+                f"({cut}/{len(blob)} bytes landed)"
+            )
+        fh.write(blob)
+
+    def fsync(self, fh: BinaryIO, unit: str = "fsync") -> None:
+        """Fsync ``fh``, applying the plan's fsync schedule."""
+        self.fsyncs += 1
+        index = self.fsyncs
+        if index in self.plan.fsync_nth:
+            self.faults += 1
+            log_event("fault.disk", fault="fsync", unit=unit, op=index)
+            raise FsyncFault(
+                f"injected fsync failure on fsync {index} of {unit!r}"
+            )
+        os.fsync(fh.fileno())

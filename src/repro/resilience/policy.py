@@ -16,6 +16,7 @@ accordingly (see :mod:`repro.resilience.degrade`).
 
 from __future__ import annotations
 
+import itertools
 import random
 import time
 from dataclasses import dataclass
@@ -140,6 +141,13 @@ class RetryPolicy:
     ``max_retries + 1`` times.  ``base_delay=0`` (the experiment
     runner's default) retries immediately — still deterministic, never
     sleeping.
+
+    ``max_delay`` is a hard ceiling on the exponential term: once the
+    schedule reaches it every later delay stays exactly there (times
+    jitter), for any attempt count.  The ceiling is applied to the
+    running product rather than via ``multiplier**(i-1)``, because the
+    naive power overflows ``float`` around attempt 1024 and a
+    long-lived supervisor legitimately reaches such counts.
     """
 
     max_retries: int = 0
@@ -157,12 +165,25 @@ class RetryPolicy:
         if self.multiplier < 1.0:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
 
+    def delays_unbounded(self) -> Iterator[float]:
+        """The backoff schedule as an endless stream (``max_retries``
+        ignored) — for callers with their own stop condition, like a
+        supervisor's lifetime restart budget.
+
+        Identical to ``min(max_delay, base_delay * multiplier**(i-1))``
+        while that power is representable, and pinned at ``max_delay``
+        beyond it — the running product is clamped each step, so no
+        attempt count can overflow.
+        """
+        rng = random.Random(self.seed)
+        base = self.base_delay
+        while True:
+            yield min(self.max_delay, base) * (1.0 + rng.uniform(0.0, self.jitter))
+            base = min(self.max_delay, base * self.multiplier)
+
     def delays(self) -> Iterator[float]:
         """The deterministic backoff sequence, one delay per retry."""
-        rng = random.Random(self.seed)
-        for i in range(self.max_retries):
-            base = min(self.max_delay, self.base_delay * self.multiplier**i)
-            yield base * (1.0 + rng.uniform(0.0, self.jitter))
+        return itertools.islice(self.delays_unbounded(), self.max_retries)
 
     def call(
         self,

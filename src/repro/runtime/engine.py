@@ -1,0 +1,547 @@
+"""The crash-safe streaming runtime: WAL-ahead snapshot advancement.
+
+:class:`StreamRuntime` turns the library's batch pipeline into an
+always-on service loop over a sanitized edge stream:
+
+1. events are consumed in fixed-size batches, each batch durably
+   appended to the :class:`~repro.runtime.wal.WriteAheadLog` *before*
+   it touches in-memory state (write-ahead: an acknowledged batch can
+   always be replayed, an unacknowledged one is re-read from the
+   source);
+2. every ``checkpoint_every`` batches close a **window**: the top-k
+   converging pairs between the snapshot at the window's start and its
+   end are computed — through the incremental delta-BFS engine while
+   the :class:`~repro.runtime.breaker.CircuitBreaker` is closed, through
+   the full-BFS fallback while it is open;
+3. each closed window is followed by a checkpoint
+   (:class:`~repro.resilience.checkpoint.CheckpointStore`) and WAL
+   compaction, so recovery cost stays bounded.
+
+**Recovery is the constructor**: opening a runtime on an existing
+``--wal-dir`` loads the newest usable checkpoint and replays the WAL
+suffix through the same window code path, which makes a killed-and-
+restarted run produce *byte-identical* output to an uninterrupted one —
+every window result is a pure function of (event prefix, config,
+checkpointed breaker state), and all of those are restored exactly.
+
+Failure handling is layered: window computation runs under a
+:class:`~repro.runtime.supervisor.Supervisor` (bounded lifetime
+restarts, then escalate); repair-engine failures feed the breaker
+(degrading to full BFS, probing back); resource-budget breaches
+(:class:`~repro.runtime.guards.ResourceGuard`) checkpoint-and-shed
+instead of dying to the OOM killer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.algorithm import find_top_k_converging_pairs
+from repro.core.pairs import ConvergingPair, top_k_converging_pairs
+from repro.graph.dynamic import TemporalGraph
+from repro.graph.graph import Graph
+from repro.graph.validation import GraphValidationError, repair_snapshot_pair
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.events import log_event
+from repro.resilience.faults import FaultInjector, InjectedFault
+from repro.resilience.policy import RetryPolicy
+from repro.runtime.breaker import CircuitBreaker
+from repro.runtime.guards import ResourceGuard
+from repro.runtime.supervisor import Supervisor
+from repro.runtime.wal import ChaosHook, WALError, WriteAheadLog
+from repro.selection import get_selector
+
+PathLike = Union[str, Path]
+
+RUNTIME_SCHEMA_VERSION = 1
+
+#: One event as stored in WAL/checkpoint payloads.
+EventRow = List[Any]
+
+
+class RuntimeRecoveryError(RuntimeError):
+    """The WAL/checkpoint pair cannot reconstruct a consistent state."""
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything that *defines* a streaming run's results.
+
+    Execution knobs that do not affect outputs (restart budget, worker
+    count, fsync) live on :class:`StreamRuntime` itself — config here is
+    exactly the part a recovered run must share with the original for
+    byte-identical output.
+    """
+
+    k: int = 10
+    batch_size: int = 8
+    checkpoint_every: int = 4
+    selector: Optional[str] = None
+    m: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.selector is not None and self.m < 1:
+            raise ValueError(
+                f"budgeted mode needs m >= 1 candidates, got {self.m}"
+            )
+
+    @property
+    def window_events(self) -> int:
+        """Events per full window (``batch_size * checkpoint_every``)."""
+        return self.batch_size * self.checkpoint_every
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One closed window: its extent, engine, and ranked pairs."""
+
+    index: int
+    start: int
+    end: int
+    engine: str
+    pairs: Tuple[ConvergingPair, ...]
+
+    def to_payload(self) -> dict:
+        """JSON-stable form for checkpoints."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "engine": self.engine,
+            "pairs": [[p.u, p.v, p.d1, p.d2] for p in self.pairs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WindowResult":
+        """Rebuild from a checkpoint payload row."""
+        return cls(
+            index=int(payload["index"]),
+            start=int(payload["start"]),
+            end=int(payload["end"]),
+            engine=str(payload["engine"]),
+            pairs=tuple(
+                ConvergingPair(row[0], row[1], row[2], row[3])
+                for row in payload["pairs"]
+            ),
+        )
+
+
+@dataclass
+class RuntimeReport:
+    """What one :meth:`StreamRuntime.run` call produced.
+
+    :meth:`render` is deliberately a pure function of the run's
+    *results* — window extents, engines, pairs, totals — and never of
+    how the run got there (recovery, restarts, torn tails all surface
+    via ``log_event`` only), so a recovered run's output is
+    byte-identical to an uninterrupted one.
+    """
+
+    windows: List[WindowResult] = field(default_factory=list)
+    consumed: int = 0
+    status: str = "complete"
+
+    def render(self, limit: int = 5) -> str:
+        """Deterministic human-readable summary."""
+        lines: List[str] = []
+        for window in self.windows:
+            lines.append(
+                f"window {window.index}: events [{window.start}, "
+                f"{window.end}) engine={window.engine} "
+                f"pairs={len(window.pairs)}"
+            )
+            for p in window.pairs[:limit]:
+                lines.append(
+                    f"  {p.u!s} {p.v!s} d1={p.d1:g} d2={p.d2:g} "
+                    f"delta={p.delta:g}"
+                )
+            if len(window.pairs) > limit:
+                lines.append(f"  ... {len(window.pairs) - limit} more")
+        lines.append(
+            f"advanced {self.consumed} events over {len(self.windows)} "
+            f"window(s); status={self.status}"
+        )
+        return "\n".join(lines)
+
+
+def _event_rows(temporal: TemporalGraph) -> List[EventRow]:
+    """A temporal graph's stream as JSON-stable rows."""
+    return [
+        [ev.time, ev.u, ev.v, ev.weight] for ev in temporal.events()
+    ]
+
+
+def _materialise(rows: Sequence[EventRow]) -> Graph:
+    """The graph aggregating ``rows`` (same semantics as TemporalGraph)."""
+    temporal = TemporalGraph()
+    for row in rows:
+        temporal.add_edge(row[0], row[1], row[2], row[3])
+    return temporal.snapshot()
+
+
+class StreamRuntime:
+    """Crash-safe advancement of snapshot state over an edge stream.
+
+    Parameters
+    ----------
+    source:
+        The sanitized stream to tail — a :class:`TemporalGraph` (its
+        events in time order are the arrival order).
+    directory:
+        The durable root (``--wal-dir``): holds ``wal.log`` plus a
+        ``checkpoints/`` store.  Opening a non-empty directory *is*
+        recovery.
+    config:
+        The result-defining knobs (see :class:`RuntimeConfig`).
+    max_restarts / workers / fsync:
+        Execution-only knobs: supervisor budget, parallel workers for
+        budgeted windows, WAL durability.
+    guard:
+        Optional :class:`~repro.runtime.guards.ResourceGuard`; a breach
+        checkpoints and sheds (``status="shed:<kind>"``).
+    breaker:
+        Optional pre-built breaker (defaults to one seeded from
+        ``config.seed``); its state is checkpointed and restored.
+    chaos:
+        Injection-point hook threaded into the WAL and the checkpoint
+        sequence (``wal.append.mid``, ``checkpoint.mid``,
+        ``repair.mid``); the chaos suite SIGKILLs there.
+    repair_injector / window_injector:
+        Deterministic fault hooks: the first fails incremental repair
+        attempts (exercising the breaker), the second fails whole
+        window computations (exercising the supervisor).
+    """
+
+    def __init__(
+        self,
+        source: TemporalGraph,
+        directory: PathLike,
+        config: RuntimeConfig,
+        *,
+        max_restarts: int = 3,
+        workers: int = 1,
+        fsync: bool = True,
+        guard: Optional[ResourceGuard] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        supervisor_backoff: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosHook] = None,
+        repair_injector: Optional[FaultInjector] = None,
+        window_injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        self.workers = workers
+        self._chaos = chaos if chaos is not None else _no_chaos
+        self._repair_injector = repair_injector
+        self._window_injector = window_injector
+        self.guard = guard
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            seed=config.seed
+        )
+        self.supervisor = Supervisor(
+            max_restarts=max_restarts, backoff=supervisor_backoff
+        )
+        self.wal = WriteAheadLog(
+            self.directory, fsync=fsync, chaos=self._chaos
+        )
+        self.store = CheckpointStore(self.directory / "checkpoints")
+        self._source_rows = _event_rows(source)
+        self._rows: List[EventRow] = []
+        self.consumed = 0
+        self.windows: List[WindowResult] = []
+        self._window_start = 0
+        self._applied_seq = 0
+        self._checkpoint_seq: Optional[int] = None
+        self.recovered_from_seq: Optional[int] = None
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _state_key(self, seq: int) -> List[Any]:
+        return ["runtime", "state", seq]
+
+    def _recover(self) -> None:
+        best: Optional[int] = None
+        for key in self.store.keys():
+            if (
+                isinstance(key, list)
+                and len(key) == 3
+                and key[:2] == ["runtime", "state"]
+            ):
+                seq = int(key[2])
+                if seq < self.wal.compacted_upto:
+                    continue  # its WAL suffix is gone; an older artefact
+                if best is None or seq > best:
+                    best = seq
+        if best is None:
+            if self.wal.compacted_upto != 0:
+                raise RuntimeRecoveryError(
+                    f"{self.directory}: the WAL was compacted up to "
+                    f"sequence {self.wal.compacted_upto} but no usable "
+                    "checkpoint at or past it exists — state cannot be "
+                    "reconstructed"
+                )
+        else:
+            payload = self.store.get(self._state_key(best))
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != RUNTIME_SCHEMA_VERSION
+            ):
+                raise RuntimeRecoveryError(
+                    f"{self.directory}: checkpoint at sequence {best} is "
+                    "unreadable or schema-mismatched"
+                )
+            self._rows = [list(row) for row in payload["events"]]
+            self.consumed = int(payload["consumed"])
+            self.windows = [
+                WindowResult.from_payload(row)
+                for row in payload["windows"]
+            ]
+            self._window_start = (
+                self.windows[-1].end if self.windows else 0
+            )
+            self.breaker.restore(payload["breaker"])
+            self._applied_seq = best
+            self._checkpoint_seq = best
+            self.recovered_from_seq = best
+            log_event(
+                "runtime.recovered", seq=best, consumed=self.consumed,
+                windows=len(self.windows),
+            )
+        # Replay the WAL suffix through the normal apply path: batches
+        # the dead process acknowledged but had not checkpointed.
+        replayed = self.wal.replay(after_seq=self._applied_seq)
+        for record in replayed:
+            self._verify_replayed(record.events)
+            self._apply_batch(record.events, record.seq)
+        if replayed:
+            log_event(
+                "runtime.replayed", batches=len(replayed),
+                upto=self._applied_seq,
+            )
+
+    def _verify_replayed(self, batch: List[EventRow]) -> None:
+        """A WAL batch must match the source at the current position.
+
+        The WAL stores *accepted* events; if the source file changed
+        under the runtime, replaying would silently fork history.
+        """
+        expected = self._source_rows[
+            self.consumed:self.consumed + len(batch)
+        ]
+        if [list(row) for row in batch] != [list(r) for r in expected]:
+            raise RuntimeRecoveryError(
+                f"{self.directory}: WAL batch at event offset "
+                f"{self.consumed} does not match the source stream — "
+                "the input changed since the log was written"
+            )
+
+    # ------------------------------------------------------------------
+    # The service loop
+    # ------------------------------------------------------------------
+    def run(self, max_batches: Optional[int] = None) -> RuntimeReport:
+        """Advance until the stream is drained (or shed/paused).
+
+        Returns a :class:`RuntimeReport` whose rendering is
+        byte-identical across kill/recover cycles.  ``max_batches``
+        bounds how many *new* batches this call ingests
+        (``status="paused"`` when the bound stops the run early).
+        """
+        total = len(self._source_rows)
+        status = "complete"
+        batches_done = 0
+        while self.consumed < total:
+            if max_batches is not None and batches_done >= max_batches:
+                status = "paused"
+                break
+            if self.guard is not None:
+                breached = self.guard.check()
+                if breached is not None:
+                    self._checkpoint()
+                    status = f"shed:{breached}"
+                    break
+            batch = self._source_rows[
+                self.consumed:self.consumed + self.config.batch_size
+            ]
+            seq = self.wal.append([list(row) for row in batch])
+            self._apply_batch(batch, seq)
+            batches_done += 1
+        else:
+            # Drained: close the final (possibly partial) window and
+            # leave a checkpoint at the head so a re-run is a no-op.
+            if self._window_start < self.consumed:
+                self._close_window(end=self.consumed)
+                self._checkpoint()
+            elif self._checkpoint_seq != self._applied_seq:
+                self._checkpoint()
+        report = RuntimeReport(
+            windows=list(self.windows),
+            consumed=self.consumed,
+            status=status,
+        )
+        log_event(
+            "runtime.run_finished", status=status,
+            consumed=self.consumed, windows=len(self.windows),
+        )
+        return report
+
+    def _apply_batch(self, batch: Sequence[EventRow], seq: int) -> None:
+        self._rows.extend(list(row) for row in batch)
+        self.consumed += len(batch)
+        self._applied_seq = seq
+        while self.consumed - self._window_start >= self.config.window_events:
+            end = self._window_start + self.config.window_events
+            self._close_window(end=end)
+            self._checkpoint()
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def _close_window(self, end: int) -> None:
+        index = len(self.windows)
+        start = self._window_start
+        g1 = _materialise(self._rows[:start])
+        g2 = _materialise(self._rows[:end])
+        # The breaker is consulted exactly once per window, outside the
+        # supervised attempt, so restarts cannot skew its schedule.
+        try_direct = self.breaker.allow()
+        pairs, engine, direct_ok = self.supervisor.run(
+            lambda: self._compute_window(index, g1, g2, try_direct),
+            unit=f"window:{index}",
+        )
+        if try_direct:
+            if direct_ok:
+                self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
+        self.windows.append(
+            WindowResult(
+                index=index, start=start, end=end,
+                engine=engine, pairs=tuple(pairs),
+            )
+        )
+        self._window_start = end
+        log_event(
+            "runtime.window_closed", window=index, start=start, end=end,
+            engine=engine, pairs=len(pairs),
+        )
+
+    def _compute_window(
+        self, index: int, g1: Graph, g2: Graph, try_direct: bool
+    ) -> Tuple[List[ConvergingPair], str, bool]:
+        if self._window_injector is not None:
+            self._window_injector.check(unit=f"window:{index}")
+        if try_direct:
+            try:
+                if self._repair_injector is not None:
+                    self._repair_injector.check(unit=f"repair:{index}")
+                self._chaos("repair.mid")
+                return self._direct_pairs(index, g1, g2)
+            except (GraphValidationError, ValueError, InjectedFault) as exc:
+                # Real failures (a window violating the subgraph
+                # precondition — deletions in the stream — or a repair
+                # the engine rejects) and injected ones feed the
+                # breaker the same way.
+                log_event(
+                    "runtime.repair_failed", window=index,
+                    error=type(exc).__name__,
+                )
+        return self._fallback_pairs(index, g1, g2)
+
+    def _direct_pairs(
+        self, index: int, g1: Graph, g2: Graph
+    ) -> Tuple[List[ConvergingPair], str, bool]:
+        if self.config.selector is None:
+            pairs = top_k_converging_pairs(
+                g1, g2, self.config.k, validate=True, engine="incremental"
+            )
+            return pairs, "incremental", True
+        if g1.num_nodes < 2:
+            # No pair can have a finite G_t1 distance, and selectors
+            # cannot nominate candidates from an (almost) empty graph —
+            # the first window of a fresh stream is legitimately empty.
+            return [], "budgeted", True
+        result = find_top_k_converging_pairs(
+            g1, g2, k=self.config.k, m=self.config.m,
+            selector=get_selector(self.config.selector),
+            seed=self.config.seed + index, validate=True,
+            workers=self.workers,
+        )
+        return result.pairs, "budgeted", True
+
+    def _fallback_pairs(
+        self, index: int, g1: Graph, g2: Graph
+    ) -> Tuple[List[ConvergingPair], str, bool]:
+        """Full-BFS degraded path: repair the pair, never trust the
+        incremental engine.
+
+        ``repair_snapshot_pair`` projects ``g2`` onto the nearest valid
+        superset of ``g1`` (a no-op copy when the pair is already
+        valid), so the fallback always computes on a well-formed pair —
+        deterministically, whatever the stream did.
+        """
+        g2_safe, repair = repair_snapshot_pair(g1, g2)
+        if not repair.clean:
+            log_event(
+                "runtime.window_repaired", window=index,
+                detail=repair.summary(),
+            )
+        if self.config.selector is None:
+            pairs = top_k_converging_pairs(
+                g1, g2_safe, self.config.k, validate=False, engine="csr"
+            )
+            return pairs, "csr-fallback", False
+        result = find_top_k_converging_pairs(
+            g1, g2_safe, k=self.config.k, m=self.config.m,
+            selector=get_selector(self.config.selector),
+            seed=self.config.seed + index, validate=False,
+            workers=self.workers,
+        )
+        return result.pairs, "budgeted-fallback", False
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _checkpoint(self) -> None:
+        """Persist state at the currently-applied WAL sequence.
+
+        Write order is crash-safe at every point: the new state record
+        lands first, the previous one is deleted after, and the WAL is
+        compacted last — a crash anywhere in between leaves at least
+        one checkpoint whose WAL suffix is intact.
+        """
+        seq = self._applied_seq
+        payload = {
+            "schema": RUNTIME_SCHEMA_VERSION,
+            "seq": seq,
+            "consumed": self.consumed,
+            "events": [list(row) for row in self._rows],
+            "windows": [w.to_payload() for w in self.windows],
+            "breaker": self.breaker.to_payload(),
+        }
+        previous = self._checkpoint_seq
+        self.store.put(self._state_key(seq), payload)
+        self._chaos("checkpoint.mid")
+        if previous is not None and previous != seq:
+            self.store.delete(self._state_key(previous))
+        self.wal.compact(seq)
+        self._checkpoint_seq = seq
+        log_event("runtime.checkpoint", seq=seq, consumed=self.consumed)
+
+
+def _no_chaos(point: str) -> None:
+    """The production chaos hook: nothing ever fires."""

@@ -1,0 +1,122 @@
+"""Soft resource budgets: checkpoint-and-shed instead of OOM death.
+
+A streaming run that grows its snapshot past the machine's memory dies
+to the OOM killer with whatever the WAL holds as its only legacy; one
+that overruns an operator's time box gets SIGKILLed by the scheduler
+with the same result.  :class:`ResourceGuard` turns both cliffs into a
+*soft* signal the runtime polls at batch boundaries: when a budget is
+breached, the runtime writes a final checkpoint and sheds (exits
+cleanly, resumable), rather than being killed mid-write.
+
+Budgets are **soft** by construction — they are checked cooperatively,
+so the real peak can overshoot by up to one batch's worth of growth.
+That is the point: the guard fires while there is still headroom to
+persist state.
+
+Memory is measured as the process's peak RSS via
+:func:`resource.getrusage` (``ru_maxrss`` — kilobytes on Linux, bytes
+on macOS; the platform factor is handled here).  Time is measured on an
+injectable monotonic clock defaulting to the project's single allowed
+wall-clock chokepoint, :func:`repro.resilience.clock.monotonic`.  Tests
+inject both probes, so guard behaviour is pinned without real pressure.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from typing import Callable, Optional
+
+from repro.resilience.clock import monotonic
+from repro.resilience.events import log_event
+
+Clock = Callable[[], float]
+MemoryProbe = Callable[[], float]
+
+
+def peak_rss_mb() -> float:
+    """The process's peak resident set size, in mebibytes."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
+
+
+class ResourceGuard:
+    """Polls soft memory/time budgets at cooperative check points.
+
+    Parameters
+    ----------
+    soft_memory_mb:
+        Peak-RSS budget in MiB; ``None`` disables the memory guard.
+    soft_time_s:
+        Elapsed-seconds budget, measured from construction; ``None``
+        disables the time guard.
+    clock / memory_probe:
+        Injectable probes (tests pass fakes; production uses the
+        monotonic chokepoint and :func:`peak_rss_mb`).
+
+    :meth:`check` returns the *kind* of the first breached budget
+    (``"memory"`` or ``"time"``) or ``None``; the caller decides what
+    shedding means.  Each kind is reported via ``log_event`` only once —
+    a guard that has fired stays fired, and the runtime is expected to
+    shed promptly rather than poll a breached guard forever.
+    """
+
+    def __init__(
+        self,
+        *,
+        soft_memory_mb: Optional[float] = None,
+        soft_time_s: Optional[float] = None,
+        clock: Clock = monotonic,
+        memory_probe: MemoryProbe = peak_rss_mb,
+    ) -> None:
+        if soft_memory_mb is not None and soft_memory_mb <= 0:
+            raise ValueError(
+                f"soft_memory_mb must be positive, got {soft_memory_mb}"
+            )
+        if soft_time_s is not None and soft_time_s <= 0:
+            raise ValueError(
+                f"soft_time_s must be positive, got {soft_time_s}"
+            )
+        self.soft_memory_mb = soft_memory_mb
+        self.soft_time_s = soft_time_s
+        self._clock = clock
+        self._memory_probe = memory_probe
+        self._start = clock()
+        self.breached: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any budget is configured."""
+        return self.soft_memory_mb is not None or self.soft_time_s is not None
+
+    def check(self) -> Optional[str]:
+        """The kind of the first breached budget, or ``None``.
+
+        Once breached, subsequent checks keep returning the same kind
+        without re-probing or re-logging.
+        """
+        if self.breached is not None:
+            return self.breached
+        if self.soft_memory_mb is not None:
+            if self._memory_probe() > self.soft_memory_mb:
+                self.breached = "memory"
+                # The budget (a config value) is loggable; the raw probe
+                # reading is not replayed into any output path.
+                log_event(
+                    "guard.breached",
+                    budget="memory",
+                    soft_memory_mb=self.soft_memory_mb,
+                )
+                return self.breached
+        if self.soft_time_s is not None:
+            if self._clock() - self._start > self.soft_time_s:
+                self.breached = "time"
+                log_event(
+                    "guard.breached",
+                    budget="time",
+                    soft_time_s=self.soft_time_s,
+                )
+                return self.breached
+        return None

@@ -1,0 +1,204 @@
+"""Supervised execution: heartbeats, bounded restarts, escalation.
+
+A long streaming run is a loop of windows, each of which may hang (a
+wedged worker pool) or crash (a poisoned batch, a transient OS error).
+The :class:`Supervisor` wraps one unit of work with a *lifetime* restart
+budget: failures are retried with seeded backoff until the budget is
+spent, then :class:`SupervisorGivingUp` escalates to the caller — the
+runtime checkpoints and exits cleanly rather than flapping forever.
+
+Liveness is tracked with :class:`Heartbeat` / :class:`HeartbeatMonitor`:
+workers ``beat()`` as they make progress, and the monitor answers
+"has this worker been silent longer than its timeout?" on an injectable
+monotonic clock (defaulting to the project's single allowed wall-clock
+chokepoint, :func:`repro.resilience.clock.monotonic`), so tests drive
+staleness with a fake clock instead of sleeping.
+
+Interrupts (:class:`KeyboardInterrupt`, :class:`SystemExit`) and
+deadline expiries (:class:`~repro.resilience.policy.BudgetRunTimeout`)
+are never treated as restartable failures — the first two are the
+operator speaking, the last is the budget speaking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.resilience.clock import monotonic
+from repro.resilience.degrade import describe_error
+from repro.resilience.events import log_event
+from repro.resilience.policy import BudgetRunTimeout, RetryPolicy
+
+T = TypeVar("T")
+
+Clock = Callable[[], float]
+
+
+class SupervisorGivingUp(RuntimeError):
+    """The restart budget is spent; the caller must checkpoint and stop.
+
+    Attributes
+    ----------
+    unit:
+        Label of the unit whose final attempt failed.
+    restarts:
+        How many restarts were consumed over the supervisor's lifetime.
+    last_error:
+        The final underlying exception (also chained as ``__cause__``).
+    """
+
+    def __init__(
+        self, unit: str, restarts: int, last_error: BaseException
+    ) -> None:
+        super().__init__(
+            f"supervisor giving up on unit {unit!r} after {restarts} "
+            f"restart(s): {describe_error(last_error)}"
+        )
+        self.unit = unit
+        self.restarts = restarts
+        self.last_error = last_error
+
+
+class Heartbeat:
+    """A worker-side liveness signal: ``beat()`` whenever progress happens."""
+
+    def __init__(self, name: str, clock: Clock = monotonic) -> None:
+        self.name = name
+        self._clock = clock
+        self.beats = 0
+        self.last_beat = clock()
+
+    def beat(self) -> None:
+        """Record one unit of progress."""
+        self.beats += 1
+        self.last_beat = self._clock()
+
+    def age(self) -> float:
+        """Seconds since the last beat."""
+        return self._clock() - self.last_beat
+
+
+class HeartbeatMonitor:
+    """The supervisor-side view over a set of heartbeats.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds of silence after which a heartbeat counts as stale.
+    clock:
+        Shared monotonic clock (tests inject a fake).
+    """
+
+    def __init__(self, timeout: float, clock: Clock = monotonic) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._clock = clock
+        self._beats: Dict[str, Heartbeat] = {}
+
+    def register(self, name: str) -> Heartbeat:
+        """Create (or return) the heartbeat tracked under ``name``."""
+        if name not in self._beats:
+            self._beats[name] = Heartbeat(name, clock=self._clock)
+        return self._beats[name]
+
+    def stale(self) -> Dict[str, float]:
+        """``{name: silence_seconds}`` for every stale heartbeat."""
+        out: Dict[str, float] = {}
+        for name, beat in sorted(self._beats.items()):
+            age = beat.age()
+            if age > self.timeout:
+                out[name] = age
+        if out:
+            log_event(
+                "heartbeat.stale",
+                workers=sorted(out),
+                timeout=self.timeout,
+            )
+        return out
+
+    def healthy(self) -> bool:
+        """Whether every registered heartbeat is fresh."""
+        return not self.stale()
+
+
+class Supervisor:
+    """Run units of work under a lifetime restart budget.
+
+    Parameters
+    ----------
+    max_restarts:
+        Total restarts available across *all* :meth:`run` calls on this
+        instance — a long run that keeps failing in different windows
+        still converges on escalation instead of flapping.
+    backoff:
+        Delay policy between restarts; only its deterministic
+        :meth:`~repro.resilience.policy.RetryPolicy.delays` schedule is
+        used (its own retry count is ignored in favour of
+        ``max_restarts``).
+    sleep:
+        Injectable sleep for the backoff delays; defaults to not
+        sleeping at all (the runtime's cadence is request-driven and
+        recovery must not depend on wall-clock pauses).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_restarts: int = 3,
+        backoff: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.max_restarts = max_restarts
+        self.backoff = backoff if backoff is not None else RetryPolicy(
+            max_retries=0, base_delay=0.0
+        )
+        self._sleep = sleep
+        self.restarts_used = 0
+        self._delays = self.backoff.delays_unbounded()
+
+    def run(self, fn: Callable[[], T], *, unit: str = "unit") -> T:
+        """Run ``fn``, restarting on failure while budget remains.
+
+        Raises :class:`SupervisorGivingUp` (chaining the last error)
+        once the lifetime budget is exhausted.  Interrupts and
+        :class:`~repro.resilience.policy.BudgetRunTimeout` propagate
+        immediately — they are stop conditions, not crashes.
+        """
+        while True:
+            try:
+                return fn()
+            except (KeyboardInterrupt, SystemExit, BudgetRunTimeout):
+                raise
+            except Exception as exc:
+                if self.restarts_used >= self.max_restarts:
+                    log_event(
+                        "supervisor.giveup",
+                        unit=unit,
+                        restarts=self.restarts_used,
+                        error=type(exc).__name__,
+                    )
+                    raise SupervisorGivingUp(
+                        unit, self.restarts_used, exc
+                    ) from exc
+                self.restarts_used += 1
+                delay = next(self._delays)
+                log_event(
+                    "supervisor.restart",
+                    unit=unit,
+                    restart=self.restarts_used,
+                    of=self.max_restarts,
+                    delay=round(delay, 6),
+                    error=type(exc).__name__,
+                )
+                if self._sleep is not None and delay > 0:
+                    self._sleep(delay)
+
+    @property
+    def restarts_remaining(self) -> int:
+        """How much of the lifetime budget is left."""
+        return self.max_restarts - self.restarts_used

@@ -1,0 +1,368 @@
+"""Checksummed, torn-write-tolerant write-ahead log for edge batches.
+
+The streaming runtime's durability contract is *write-ahead*: an edge
+batch is appended (and fsynced) here **before** it is applied to any
+in-memory snapshot state, so recovery after a crash is always
+``last checkpoint + replay of the WAL suffix`` — never a guess about
+which batches the dead process had absorbed.
+
+On-disk format — one UTF-8 text line per record::
+
+    W1 <seq> <sha256-16> <canonical-json-payload>\\n
+
+* ``W1`` is the frame tag (format version 1);
+* ``seq`` is a strictly consecutive 1-based record number (the header
+  pseudo-record carries the sequence number compaction last advanced
+  past, so continuity is checkable after any number of compactions);
+* the checksum is the first 16 hex chars of the payload's SHA-256;
+* the payload is compact sorted-key JSON, so a record's bytes are a
+  pure function of its content.
+
+Failure tolerance is asymmetric by design:
+
+* a **torn tail** — a final line that is incomplete or fails its
+  checksum, exactly what a crash mid-append leaves behind — is
+  tolerated: the tail is truncated away on open (logged as
+  ``wal.torn_tail``) and the log continues from the last durable
+  record;
+* **interior corruption** — an invalid line *followed by* valid
+  records, which no crash can produce — raises :class:`WALError`,
+  because silently dropping acknowledged records would break the
+  recovery contract.
+
+Appends route their raw ``write``/``fsync`` through an optional
+:class:`~repro.resilience.faults.DiskFaultInjector`, so the chaos suite
+exercises ENOSPC, torn writes, and fsync failures on the real code
+path.  An optional ``chaos`` hook fires between the two halves of every
+append (``wal.append.mid``) — the kill-9 acceptance tests SIGKILL the
+process there to manufacture genuine torn tails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.resilience.checkpoint import fsync_directory
+from repro.resilience.events import log_event
+from repro.resilience.faults import DiskFaultInjector
+
+PathLike = Union[str, Path]
+
+WAL_SCHEMA_VERSION = 1
+
+LOG_NAME = "wal.log"
+
+_FRAME_TAG = "W1"
+
+#: Signature of the chaos hook: called with a dotted injection-point
+#: label; a no-op in production, a SIGKILL in the acceptance suite.
+ChaosHook = Callable[[str], None]
+
+
+class WALError(RuntimeError):
+    """The log is corrupt in a way recovery must not paper over."""
+
+
+def _payload_line(seq: int, payload: Dict[str, Any]) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    return f"{_FRAME_TAG} {seq} {digest} {blob}\n"
+
+
+def _parse_line(line: str) -> Optional[Tuple[int, Dict[str, Any]]]:
+    """``(seq, payload)`` for a valid frame, ``None`` for anything else."""
+    if not line.endswith("\n"):
+        return None
+    parts = line[:-1].split(" ", 3)
+    if len(parts) != 4 or parts[0] != _FRAME_TAG:
+        return None
+    tag, seq_text, digest, blob = parts
+    if not seq_text.isdigit():
+        return None
+    if hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16] != digest:
+        return None
+    try:
+        payload = json.loads(blob)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return int(seq_text), payload
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One durable edge batch: its sequence number and event rows."""
+
+    seq: int
+    events: List[List[Any]]
+
+
+class WriteAheadLog:
+    """An append-only, checksummed log of accepted edge batches.
+
+    Parameters
+    ----------
+    directory:
+        Created (with parents) if absent; holds one ``wal.log`` file.
+    fsync:
+        Whether appends fsync before acknowledging (disable only in
+        tests that measure something else).
+    disk:
+        Optional :class:`~repro.resilience.faults.DiskFaultInjector`
+        through which every raw write/fsync is routed.
+    chaos:
+        Optional injection-point hook (see module docstring).
+
+    Opening the log *is* recovery: the file is scanned, a torn tail is
+    truncated (``wal.torn_tail`` event), interior corruption raises
+    :class:`WALError`, and appends continue from the last durable
+    sequence number.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        fsync: bool = True,
+        disk: Optional[DiskFaultInjector] = None,
+        chaos: Optional[ChaosHook] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_enabled = fsync
+        self._disk = disk
+        self._chaos = chaos if chaos is not None else _no_chaos
+        self._records: List[WALRecord] = []
+        self.compacted_upto = 0
+        self.torn_tail_recovered = False
+        self._recover()
+
+    @property
+    def path(self) -> Path:
+        """Path of the single log segment."""
+        return self.directory / LOG_NAME
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durable record (0 = empty)."""
+        if self._records:
+            return self._records[-1].seq
+        return self.compacted_upto
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        if not self.path.exists():
+            self._write_fresh(compacted_upto=0, records=[])
+            return
+        raw = self.path.read_bytes()
+        if not raw:
+            # Created but never got its header (crash before first
+            # append): indistinguishable from fresh.
+            self._write_fresh(compacted_upto=0, records=[])
+            return
+        records, valid_bytes = self._scan(raw)
+        if valid_bytes < len(raw):
+            # Crash mid-append: drop the torn tail and move on.
+            log_event(
+                "wal.torn_tail",
+                path=self.path.name,
+                dropped_bytes=len(raw) - valid_bytes,
+            )
+            self.torn_tail_recovered = True
+            with self.path.open("r+b") as fh:
+                fh.truncate(valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+            fsync_directory(self.directory)
+        self._records = records
+
+    def _scan(self, raw: bytes) -> Tuple[List[WALRecord], int]:
+        """Parse ``raw``; returns the valid records and their byte extent.
+
+        Raises :class:`WALError` if a valid record follows an invalid
+        line (interior corruption) or the sequence numbers are not
+        strictly consecutive.
+        """
+        text = raw.decode("utf-8", errors="replace")
+        lines = text.splitlines(keepends=True)
+        records: List[WALRecord] = []
+        valid_bytes = 0
+        saw_header = False
+        expected_seq = 0
+        for lineno, line in enumerate(lines, start=1):
+            parsed = _parse_line(line)
+            if parsed is None:
+                # Only a *tail* may be invalid; anything after it must
+                # be garbage from the same torn write, not more frames.
+                rest = lines[lineno:]
+                if any(_parse_line(later) is not None for later in rest):
+                    raise WALError(
+                        f"{self.path}: corrupt record at line {lineno} "
+                        "followed by valid records — the log was "
+                        "modified, not torn; refusing to recover"
+                    )
+                return records, valid_bytes
+            seq, payload = parsed
+            if not saw_header:
+                if payload.get("kind") != "header" or seq != 0:
+                    raise WALError(
+                        f"{self.path}: first record is not a WAL header"
+                    )
+                if payload.get("schema") != WAL_SCHEMA_VERSION:
+                    raise WALError(
+                        f"{self.path}: unsupported WAL schema "
+                        f"{payload.get('schema')!r}"
+                    )
+                self.compacted_upto = int(payload.get("compacted_upto", 0))
+                expected_seq = self.compacted_upto
+                saw_header = True
+            else:
+                if seq != expected_seq + 1:
+                    raise WALError(
+                        f"{self.path}: sequence gap at line {lineno} "
+                        f"(expected {expected_seq + 1}, found {seq})"
+                    )
+                events = payload.get("events")
+                if payload.get("kind") != "batch" or not isinstance(
+                    events, list
+                ):
+                    raise WALError(
+                        f"{self.path}: record {seq} is not an edge batch"
+                    )
+                records.append(WALRecord(seq=seq, events=events))
+                expected_seq = seq
+            valid_bytes += len(line.encode("utf-8"))
+        return records, valid_bytes
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _write_fresh(
+        self, compacted_upto: int, records: List[WALRecord]
+    ) -> None:
+        """Atomically (re)write the whole segment — init and compaction."""
+        header = {
+            "kind": "header",
+            "schema": WAL_SCHEMA_VERSION,
+            "compacted_upto": compacted_upto,
+        }
+        lines = [_payload_line(0, header)]
+        lines.extend(
+            _payload_line(rec.seq, {"kind": "batch", "events": rec.events})
+            for rec in records
+        )
+        blob = "".join(lines).encode("utf-8")
+        tmp = self.path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
+            if self._disk is not None:
+                self._disk.write(fh, blob, unit="wal.rewrite")
+            else:
+                fh.write(blob)
+            fh.flush()
+            if self.fsync_enabled:
+                self._fsync(fh, unit="wal.rewrite")
+        os.replace(tmp, self.path)
+        fsync_directory(self.directory)
+        self.compacted_upto = compacted_upto
+        self._records = list(records)
+
+    def _fsync(self, fh: Any, unit: str) -> None:
+        if self._disk is not None:
+            self._disk.fsync(fh, unit=unit)
+        else:
+            os.fsync(fh.fileno())
+
+    def append(self, events: List[List[Any]]) -> int:
+        """Durably append one edge batch; returns its sequence number.
+
+        The record only counts as accepted when this method returns:
+        any exception (injected or real ENOSPC / torn write / fsync
+        failure) leaves the in-memory sequence untouched, and whatever
+        partial bytes reached the disk are exactly the torn tail the
+        next open truncates away.
+        """
+        seq = self.last_seq + 1
+        line = _payload_line(seq, {"kind": "batch", "events": events})
+        blob = line.encode("utf-8")
+        with self.path.open("ab") as fh:
+            if self._disk is not None:
+                self._disk.write(fh, blob, unit="wal.append")
+            else:
+                # Two physical writes with a flush between them give the
+                # chaos hook a real mid-append window: a SIGKILL between
+                # the halves leaves a genuinely torn record.
+                cut = len(blob) // 2
+                fh.write(blob[:cut])
+                fh.flush()
+                self._chaos("wal.append.mid")
+                fh.write(blob[cut:])
+            fh.flush()
+            if self.fsync_enabled:
+                self._fsync(fh, unit="wal.append")
+        self._records.append(WALRecord(seq=seq, events=list(events)))
+        return seq
+
+    # ------------------------------------------------------------------
+    # Reads and compaction
+    # ------------------------------------------------------------------
+    def replay(self, after_seq: int = 0) -> List[WALRecord]:
+        """The durable records with ``seq > after_seq``, in order.
+
+        ``after_seq`` below :attr:`compacted_upto` raises
+        :class:`WALError`: those records were compacted away, so the
+        caller's checkpoint predates the log and recovery would be
+        incomplete.
+        """
+        if after_seq < self.compacted_upto:
+            raise WALError(
+                f"records {after_seq + 1}..{self.compacted_upto} were "
+                "compacted away; recovery needs a checkpoint at or past "
+                f"sequence {self.compacted_upto}"
+            )
+        return [rec for rec in self._records if rec.seq > after_seq]
+
+    def compact(self, upto_seq: int) -> int:
+        """Drop records with ``seq <= upto_seq``; returns how many.
+
+        Callers must only compact past a durable checkpoint — the
+        runtime checkpoints first, then compacts, so a crash between
+        the two leaves extra (harmlessly re-skippable) records, never
+        missing ones.  The rewrite is atomic (temp file + fsync +
+        rename + directory fsync).
+        """
+        if upto_seq > self.last_seq:
+            raise WALError(
+                f"cannot compact past the log head "
+                f"({upto_seq} > {self.last_seq})"
+            )
+        if upto_seq <= self.compacted_upto:
+            return 0
+        keep = [rec for rec in self._records if rec.seq > upto_seq]
+        removed = len(self._records) - len(keep)
+        self._write_fresh(compacted_upto=upto_seq, records=keep)
+        log_event(
+            "wal.compacted",
+            path=self.path.name,
+            upto=upto_seq,
+            removed=removed,
+            kept=len(keep),
+        )
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, "
+            f"last_seq={self.last_seq})"
+        )
+
+
+def _no_chaos(point: str) -> None:
+    """The production chaos hook: nothing ever fires."""

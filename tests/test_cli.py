@@ -345,3 +345,102 @@ class TestMonitorInvalidWindow:
         ])
         assert rc == 2
         assert "insertion-only" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ("--k", "0"),
+            ("--m", "0"),
+            ("--k", "-3"),
+        ],
+    )
+    def test_invalid_knob_combo_is_exit_2_not_traceback(
+        self, capsys, flags
+    ):
+        """Regression: rejected monitor knob combinations used to escape
+        as a bare ValueError traceback instead of a flag error."""
+        rc = main([
+            "monitor", "dblp", "--scale", "0.15",
+            "--checkpoints", "0.5,1.0", *flags,
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+class TestAdvance:
+    def _stream(self, tmp_path):
+        src = tmp_path / "stream.tsv"
+        rows = [f"{t}\t{t % 9}\t{t % 11 + 9}\t1.0" for t in range(60)]
+        src.write_text("\n".join(rows) + "\n")
+        return src
+
+    def test_full_run_prints_windows_and_status(self, tmp_path, capsys):
+        src = self._stream(tmp_path)
+        rc = main([
+            "advance", str(src), "--wal-dir", str(tmp_path / "wal"),
+            "--k", "3", "--batch-size", "5", "--checkpoint-every", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "window 0:" in out
+        assert "status=complete" in out
+
+    def test_pause_and_resume_match_uninterrupted(self, tmp_path, capsys):
+        src = self._stream(tmp_path)
+        base = ["--k", "3", "--batch-size", "5", "--checkpoint-every", "2"]
+        assert main([
+            "advance", str(src), "--wal-dir", str(tmp_path / "a"), *base,
+        ]) == 0
+        uninterrupted = capsys.readouterr().out
+
+        assert main([
+            "advance", str(src), "--wal-dir", str(tmp_path / "b"), *base,
+            "--max-batches", "3",
+        ]) == 0
+        paused = capsys.readouterr().out
+        assert "status=paused" in paused
+        assert main([
+            "advance", str(src), "--wal-dir", str(tmp_path / "b"), *base,
+        ]) == 0
+        assert capsys.readouterr().out == uninterrupted
+
+    def test_bad_config_is_exit_2(self, tmp_path, capsys):
+        src = self._stream(tmp_path)
+        rc = main([
+            "advance", str(src), "--wal-dir", str(tmp_path / "wal"),
+            "--k", "0",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_selector_is_exit_2(self, tmp_path, capsys):
+        src = self._stream(tmp_path)
+        rc = main([
+            "advance", str(src), "--wal-dir", str(tmp_path / "wal"),
+            "--selector", "NoSuchSelector", "--m", "5",
+        ])
+        assert rc == 2
+        assert "NoSuchSelector" in capsys.readouterr().err
+
+    def test_missing_input_is_exit_2(self, tmp_path, capsys):
+        rc = main([
+            "advance", str(tmp_path / "absent.tsv"),
+            "--wal-dir", str(tmp_path / "wal"),
+        ])
+        assert rc == 2
+
+    def test_source_mismatch_is_exit_2(self, tmp_path, capsys):
+        src = self._stream(tmp_path)
+        wal = str(tmp_path / "wal")
+        assert main([
+            "advance", str(src), "--wal-dir", wal, "--max-batches", "2",
+        ]) == 0
+        capsys.readouterr()
+        other = tmp_path / "other.tsv"
+        rows = [f"{t}\t{t % 4}\t{t % 6 + 4}\t2.0" for t in range(60)]
+        other.write_text("\n".join(rows) + "\n")
+        rc = main(["advance", str(other), "--wal-dir", wal])
+        assert rc == 2
+        assert "source" in capsys.readouterr().err

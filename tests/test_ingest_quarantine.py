@@ -168,6 +168,69 @@ class TestReplay:
         with pytest.raises(QuarantineError, match="no longer exists"):
             replay_quarantine(tmp_path / "q")
 
+    def test_append_during_replay_is_detected(self, tmp_path, monkeypatch):
+        """A writer racing the replay — appending after the pre-read SHA
+        check passed — must not slip events into the result: the source
+        is re-verified once the stream has been read."""
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY)
+        _sanitized_read(src, {"deletion": "quarantine"},
+                        qdir=tmp_path / "q")
+
+        import repro.datasets.io as io_mod
+
+        real_read = io_mod.read_edge_stream
+
+        def racing_read(path, **kwargs):
+            # The concurrent writer lands between verification and read.
+            with open(path, "a") as fh:
+                fh.write("9\t20\t21\t1.0\n")
+            return real_read(path, **kwargs)
+
+        monkeypatch.setattr(io_mod, "read_edge_stream", racing_read)
+        with pytest.raises(QuarantineError, match="during replay"):
+            replay_quarantine(tmp_path / "q")
+
+    def test_replay_is_idempotent(self, tmp_path):
+        """Two replays of one store apply each recorded event exactly
+        once each — byte-identical outputs, nothing doubled or skipped."""
+        src = tmp_path / "dirty.tsv"
+        src.write_text(DIRTY)
+        _sanitized_read(src, {"deletion": "quarantine"},
+                        qdir=tmp_path / "q")
+        first, _ = replay_quarantine(tmp_path / "q", {"deletion": "repair"})
+        second, _ = replay_quarantine(tmp_path / "q", {"deletion": "repair"})
+        out_a, out_b = tmp_path / "a.tsv", tmp_path / "b.tsv"
+        write_edge_stream(first, out_a)
+        write_edge_stream(second, out_b)
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_interleaved_saves_resolve_to_the_last_writer(self, tmp_path):
+        """Two writers saving into one store: the loser is replaced
+        atomically, so a load sees one complete run, never a blend."""
+        store_a = QuarantineStore(tmp_path / "q")
+        store_b = QuarantineStore(tmp_path / "q")
+        store_a.save([_record(0)], source="s", source_sha256="x",
+                     policies={}, buffer_size=0)
+        store_b.save([_record(1), _record(2)], source="s",
+                     source_sha256="x", policies={}, buffer_size=0)
+        run = store_a.load()
+        assert [r.reason for r in run.records] == ["r1", "r2"]
+
+    def test_spliced_manifest_and_records_refuse_to_load(self, tmp_path):
+        """The torn interleaving — one run's manifest next to another
+        run's records — fails the pinned records checksum instead of
+        replaying a mixture."""
+        store_a = QuarantineStore(tmp_path / "a")
+        store_b = QuarantineStore(tmp_path / "b")
+        store_a.save([_record(0)], source="s", source_sha256="x",
+                     policies={}, buffer_size=0)
+        store_b.save([_record(1), _record(2)], source="s",
+                     source_sha256="x", policies={}, buffer_size=0)
+        store_a.records_path.write_bytes(store_b.records_path.read_bytes())
+        with pytest.raises(QuarantineError, match="checksum"):
+            store_a.load()
+
     def test_replay_can_quarantine_into_new_store(self, tmp_path):
         src = tmp_path / "dirty.tsv"
         src.write_text(DIRTY)

@@ -73,6 +73,62 @@ class TestAtomicity:
         assert set(record) == {"schema", "key", "checksum", "value"}
 
 
+class TestDurability:
+    """The rename is only durable once the parent directory is synced."""
+
+    @staticmethod
+    def _tracking_fsync(order):
+        import os
+        import stat
+
+        real_fsync = os.fsync
+
+        def fsync(fd):
+            kind = "dir" if stat.S_ISDIR(os.fstat(fd).st_mode) else "file"
+            order.append(f"fsync:{kind}")
+            real_fsync(fd)
+
+        return fsync
+
+    def test_put_fsyncs_parent_directory_after_rename(
+        self, store, monkeypatch
+    ):
+        """Regression: file fsync -> atomic rename -> directory fsync,
+        in exactly that order. Without the final step a crash right
+        after ``os.replace`` can roll the rename back on filesystems
+        that journal data but not directory updates."""
+        import os
+
+        order = []
+        real_replace = os.replace
+        monkeypatch.setattr(os, "fsync", self._tracking_fsync(order))
+        monkeypatch.setattr(
+            os, "replace",
+            lambda src, dst: (order.append("replace"), real_replace(src, dst))[1],
+        )
+        store.put("k", {"x": 1})
+        assert order == ["fsync:file", "replace", "fsync:dir"]
+
+    def test_directory_fsync_failure_surfaces(self, store, monkeypatch):
+        """An injected fsync fault on the directory fd must propagate —
+        swallowing it would silently drop the durability guarantee."""
+        import os
+        import stat
+
+        from repro.resilience.faults import FsyncFault
+
+        real_fsync = os.fsync
+
+        def failing_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise FsyncFault("injected: directory fsync failed")
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        with pytest.raises(FsyncFault):
+            store.put("k", 1)
+
+
 class TestCorruption:
     def corrupt(self, store, key, mutate):
         path = store.put(key, 0.5)

@@ -86,6 +86,85 @@ class TestFaultPlan:
         assert slept == [1.0, 1.0]
 
 
+class TestDiskFaultInjector:
+    def _injector(self, **kwargs):
+        from repro.resilience.faults import DiskFaultInjector, DiskFaultPlan
+
+        return DiskFaultInjector(DiskFaultPlan(**kwargs))
+
+    def test_plan_validation(self):
+        from repro.resilience.faults import DiskFaultPlan
+
+        with pytest.raises(ValueError):
+            DiskFaultPlan(torn_fraction=1.0)
+        with pytest.raises(ValueError):
+            DiskFaultPlan(enospc_nth=(0,))
+        with pytest.raises(ValueError):
+            DiskFaultPlan(fsync_nth=(-1,))
+
+    def test_enospc_drops_the_whole_write(self, tmp_path):
+        from repro.resilience.faults import DiskFullFault
+
+        injector = self._injector(enospc_nth=(2,))
+        path = tmp_path / "f.bin"
+        with path.open("wb") as fh:
+            injector.write(fh, b"first|")
+            with pytest.raises(DiskFullFault):
+                injector.write(fh, b"second|")
+            injector.write(fh, b"third|")
+        # The failed write left no bytes at all — ENOSPC rejects whole.
+        assert path.read_bytes() == b"first|third|"
+        assert injector.faults == 1
+
+    def test_torn_write_lands_a_strict_prefix(self, tmp_path):
+        from repro.resilience.faults import TornWriteFault
+
+        injector = self._injector(torn_nth=(1,), torn_fraction=0.5)
+        path = tmp_path / "f.bin"
+        payload = b"0123456789"
+        with path.open("wb") as fh:
+            with pytest.raises(TornWriteFault):
+                injector.write(fh, payload)
+        landed = path.read_bytes()
+        assert landed == payload[: len(landed)]  # a prefix...
+        assert 0 < len(landed) < len(payload)  # ...and strictly torn
+
+    def test_fsync_failure_after_write(self, tmp_path):
+        from repro.resilience.faults import FsyncFault
+
+        injector = self._injector(fsync_nth=(1,))
+        with (tmp_path / "f.bin").open("wb") as fh:
+            injector.write(fh, b"data")
+            with pytest.raises(FsyncFault):
+                injector.fsync(fh)
+            injector.fsync(fh)  # second fsync follows the schedule
+        assert injector.fsyncs == 2
+
+    def test_counters_are_independent_per_operation_kind(self, tmp_path):
+        from repro.resilience.faults import DiskFullFault
+
+        # Write #2 fails; fsync #2 would too, but only one fsync happens.
+        injector = self._injector(enospc_nth=(2,), fsync_nth=(2,))
+        with (tmp_path / "f.bin").open("wb") as fh:
+            injector.write(fh, b"a")
+            injector.fsync(fh)
+            with pytest.raises(DiskFullFault):
+                injector.write(fh, b"b")
+        assert (injector.writes, injector.fsyncs) == (2, 1)
+
+    def test_disk_faults_are_injected_faults(self):
+        from repro.resilience.faults import (
+            DiskFault,
+            DiskFullFault,
+            FsyncFault,
+            TornWriteFault,
+        )
+
+        for cls in (DiskFullFault, TornWriteFault, FsyncFault):
+            assert issubclass(cls, DiskFault)
+            assert issubclass(cls, InjectedFault)
+
+
 class TestRunGuardedWithFaults:
     def test_retry_rides_through_injected_fault(self):
         injector = FaultInjector(FaultPlan(fail_nth=(1,)))

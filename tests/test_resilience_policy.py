@@ -84,6 +84,51 @@ class TestBackoffSequence:
             RetryPolicy(multiplier=0.5)
 
 
+class TestUnboundedSchedule:
+    def test_huge_attempt_counts_stay_finite_at_the_ceiling(self):
+        """Regression: the naive ``multiplier**(i-1)`` overflows float
+        around attempt 1024; the clamped running product must not."""
+        import itertools
+        import math
+
+        policy = RetryPolicy(
+            max_retries=0, base_delay=1.0, multiplier=2.0,
+            max_delay=30.0, jitter=0.0,
+        )
+        delays = list(itertools.islice(policy.delays_unbounded(), 5000))
+        assert len(delays) == 5000
+        assert all(math.isfinite(d) for d in delays)
+        # Pinned head: exponential until the ceiling, then flat forever.
+        assert delays[:7] == [1.0, 2.0, 4.0, 8.0, 16.0, 30.0, 30.0]
+        assert set(delays[5:]) == {30.0}
+
+    def test_huge_retry_budget_does_not_overflow(self):
+        policy = RetryPolicy(
+            max_retries=2048, base_delay=0.5, multiplier=10.0,
+            max_delay=60.0, jitter=0.0,
+        )
+        delays = list(policy.delays())
+        assert len(delays) == 2048
+        assert delays[-1] == 60.0
+        assert max(delays) == 60.0
+
+    def test_bounded_delays_are_a_prefix_of_unbounded(self):
+        import itertools
+
+        policy = RetryPolicy(max_retries=8, base_delay=0.1, jitter=0.3, seed=5)
+        assert list(policy.delays()) == list(
+            itertools.islice(policy.delays_unbounded(), 8)
+        )
+
+    def test_jitter_stream_is_seeded_per_iterator(self):
+        policy = RetryPolicy(max_retries=0, base_delay=1.0, jitter=0.5, seed=9)
+        import itertools
+
+        first = list(itertools.islice(policy.delays_unbounded(), 10))
+        second = list(itertools.islice(policy.delays_unbounded(), 10))
+        assert first == second
+
+
 class TestCall:
     def test_recovers_within_budget(self):
         sleeps = []

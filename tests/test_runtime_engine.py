@@ -1,0 +1,295 @@
+"""StreamRuntime: windows, recovery, degradation, shedding."""
+
+import pytest
+
+from repro.graph.dynamic import TemporalGraph
+from repro.resilience import capture_events
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.runtime import (
+    ResourceGuard,
+    RuntimeConfig,
+    RuntimeRecoveryError,
+    StreamRuntime,
+    SupervisorGivingUp,
+)
+
+from conftest import random_temporal_graph
+
+
+@pytest.fixture
+def stream():
+    return random_temporal_graph(30, 120, seed=11)
+
+
+@pytest.fixture
+def config():
+    return RuntimeConfig(k=5, batch_size=6, checkpoint_every=2)
+
+
+def dirty_stream():
+    """An insertion stream with deletions sprinkled in: most windows
+    past the warm-up delete an edge inserted *before* the window
+    started, so G_t1 is no longer a subgraph of G_t2 and the
+    incremental engine's precondition fails."""
+    tg = random_temporal_graph(25, 90, seed=4)
+    events = list(tg.events())
+    out = TemporalGraph()
+    deleted = 0
+    for i, ev in enumerate(events):
+        out.add_edge(ev.time, ev.u, ev.v, ev.weight)
+        if i >= 30 and i % 5 == 0:
+            # Remove one of the earliest edges — long since part of
+            # every window-start snapshot, each targeted exactly once.
+            target = events[deleted]
+            out.add_edge(ev.time, target.u, target.v, -1.0)
+            deleted += 1
+    return out
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"k": 0}, {"batch_size": 0}, {"checkpoint_every": 0},
+         {"selector": "SumDiff", "m": 0}],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RuntimeConfig(**kwargs)
+
+    def test_window_events(self):
+        assert RuntimeConfig(batch_size=6, checkpoint_every=2).window_events == 12
+
+
+class TestAdvancement:
+    def test_full_run_closes_expected_windows(self, tmp_path, stream, config):
+        runtime = StreamRuntime(stream, tmp_path / "wal", config)
+        report = runtime.run()
+        assert report.status == "complete"
+        assert report.consumed == len(stream)
+        # 120 events / 12 per window -> 10 full windows.
+        assert [w.end - w.start for w in report.windows] == [12] * 10
+        assert all(w.engine == "incremental" for w in report.windows)
+
+    def test_partial_final_window(self, tmp_path, config):
+        stream = random_temporal_graph(20, 30, seed=5)  # 30 = 2*12 + 6
+        runtime = StreamRuntime(stream, tmp_path / "wal", config)
+        report = runtime.run()
+        assert [w.end - w.start for w in report.windows] == [12, 12, 6]
+
+    def test_rerun_on_completed_directory_is_identical(
+        self, tmp_path, stream, config
+    ):
+        first = StreamRuntime(stream, tmp_path / "wal", config).run()
+        second = StreamRuntime(stream, tmp_path / "wal", config).run()
+        assert second.render() == first.render()
+
+    def test_resume_after_pause_matches_uninterrupted(
+        self, tmp_path, stream, config
+    ):
+        uninterrupted = StreamRuntime(
+            stream, tmp_path / "a", config
+        ).run()
+        # Stop-and-go in ragged increments, including mid-window stops.
+        resumable = None
+        for budget in (1, 3, 5, 2, 100):
+            resumable = StreamRuntime(stream, tmp_path / "b", config).run(
+                max_batches=budget
+            )
+            if resumable.status == "complete":
+                break
+        assert resumable is not None
+        assert resumable.status == "complete"
+        assert resumable.render() == uninterrupted.render()
+
+    def test_crash_mid_append_recovers_identically(
+        self, tmp_path, stream, config
+    ):
+        uninterrupted = StreamRuntime(stream, tmp_path / "a", config).run()
+
+        class Crash(BaseException):
+            """Bypasses every except Exception on the way out."""
+
+        def chaos(point):
+            if point == "wal.append.mid":
+                raise Crash()
+
+        crashed = StreamRuntime(
+            stream, tmp_path / "b", config, chaos=chaos
+        )
+        with pytest.raises(Crash):
+            crashed.run()
+        recovered = StreamRuntime(stream, tmp_path / "b", config).run()
+        assert recovered.render() == uninterrupted.render()
+
+    def test_crash_mid_checkpoint_recovers_identically(
+        self, tmp_path, stream, config
+    ):
+        uninterrupted = StreamRuntime(stream, tmp_path / "a", config).run()
+
+        class Crash(BaseException):
+            pass
+
+        fired = {"count": 0}
+
+        def chaos(point):
+            if point == "checkpoint.mid":
+                fired["count"] += 1
+                if fired["count"] == 3:
+                    raise Crash()
+
+        crashed = StreamRuntime(
+            stream, tmp_path / "b", config, chaos=chaos
+        )
+        with pytest.raises(Crash):
+            crashed.run()
+        survivor = StreamRuntime(stream, tmp_path / "b", config)
+        assert survivor.recovered_from_seq is not None
+        recovered = survivor.run()
+        assert recovered.render() == uninterrupted.render()
+
+    def test_empty_stream_is_a_clean_noop(self, tmp_path, config):
+        report = StreamRuntime(
+            TemporalGraph(), tmp_path / "wal", config
+        ).run()
+        assert report.status == "complete"
+        assert report.windows == []
+        assert report.consumed == 0
+
+
+class TestDegradation:
+    def test_dirty_windows_fall_back_and_trip_breaker(self, tmp_path):
+        config = RuntimeConfig(k=5, batch_size=6, checkpoint_every=1)
+        runtime = StreamRuntime(dirty_stream(), tmp_path / "wal", config)
+        report = runtime.run()
+        assert report.status == "complete"
+        engines = {w.engine for w in report.windows}
+        assert "csr-fallback" in engines  # repairs failed somewhere
+        # Once the breaker opened, fallback happens without an attempt.
+        assert runtime.breaker.transitions  # it tripped at least once
+
+    def test_dirty_stream_recovery_is_identical(self, tmp_path):
+        """Breaker state is checkpointed, so recovery replays the same
+        engine decisions even on a stream that keeps tripping it."""
+        config = RuntimeConfig(k=5, batch_size=6, checkpoint_every=1)
+        stream = dirty_stream()
+        uninterrupted = StreamRuntime(stream, tmp_path / "a", config).run()
+
+        resumed = None
+        for budget in (2, 3, 2, 100):
+            resumed = StreamRuntime(stream, tmp_path / "b", config).run(
+                max_batches=budget
+            )
+            if resumed.status == "complete":
+                break
+        assert resumed is not None
+        assert resumed.render() == uninterrupted.render()
+
+    def test_injected_repair_faults_drive_breaker_open(self, tmp_path, stream):
+        config = RuntimeConfig(k=5, batch_size=6, checkpoint_every=1)
+        injector = FaultInjector(FaultPlan(fail_nth=tuple(range(1, 20))))
+        runtime = StreamRuntime(
+            stream, tmp_path / "wal", config, repair_injector=injector
+        )
+        report = runtime.run()
+        assert report.status == "complete"
+        assert runtime.breaker.transitions[0][0] == "open"
+        # Denied windows never consult the injector: fewer checks than
+        # windows proves the open breaker skipped repair attempts.
+        assert injector.calls < len(report.windows)
+
+    def test_supervisor_gives_up_on_persistent_window_failure(
+        self, tmp_path, stream, config
+    ):
+        injector = FaultInjector(FaultPlan(fail_nth=tuple(range(1, 50))))
+        runtime = StreamRuntime(
+            stream, tmp_path / "wal", config,
+            max_restarts=2, window_injector=injector,
+        )
+        with pytest.raises(SupervisorGivingUp):
+            runtime.run()
+
+    def test_transient_window_failure_is_restarted(
+        self, tmp_path, stream, config
+    ):
+        clean = StreamRuntime(stream, tmp_path / "a", config).run()
+        injector = FaultInjector(FaultPlan(fail_nth=(2, 5)))
+        runtime = StreamRuntime(
+            stream, tmp_path / "b", config,
+            max_restarts=3, window_injector=injector,
+        )
+        report = runtime.run()
+        assert report.render() == clean.render()
+        assert runtime.supervisor.restarts_used == 2
+
+
+class TestGuards:
+    def test_time_breach_sheds_with_checkpoint(self, tmp_path, stream, config):
+        ticks = iter(range(100))
+        guard = ResourceGuard(
+            soft_time_s=3.0, clock=lambda: float(next(ticks))
+        )
+        runtime = StreamRuntime(
+            stream, tmp_path / "wal", config, guard=guard
+        )
+        report = runtime.run()
+        assert report.status == "shed:time"
+        assert report.consumed < len(stream)
+        # The shed checkpoint makes the next run resume, not restart.
+        resumed = StreamRuntime(stream, tmp_path / "wal", config)
+        assert resumed.consumed == report.consumed
+        final = resumed.run()
+        assert final.status == "complete"
+        assert final.consumed == len(stream)
+
+    def test_memory_breach_sheds(self, tmp_path, stream, config):
+        guard = ResourceGuard(soft_memory_mb=1, memory_probe=lambda: 2.0)
+        report = StreamRuntime(
+            stream, tmp_path / "wal", config, guard=guard
+        ).run()
+        assert report.status == "shed:memory"
+
+
+class TestRecoveryEdges:
+    def test_source_mismatch_is_refused(self, tmp_path, stream, config):
+        StreamRuntime(stream, tmp_path / "wal", config).run(max_batches=3)
+        other = random_temporal_graph(30, 120, seed=99)
+        with pytest.raises(RuntimeRecoveryError, match="source"):
+            StreamRuntime(other, tmp_path / "wal", config)
+
+    def test_lost_checkpoints_after_compaction_are_fatal(
+        self, tmp_path, stream, config
+    ):
+        runtime = StreamRuntime(stream, tmp_path / "wal", config)
+        runtime.run(max_batches=4)  # at least one checkpoint + compaction
+        assert runtime.wal.compacted_upto > 0
+        runtime.store.clear()
+        with pytest.raises(RuntimeRecoveryError, match="checkpoint"):
+            StreamRuntime(stream, tmp_path / "wal", config)
+
+    def test_recovery_emits_events(self, tmp_path, stream, config):
+        StreamRuntime(stream, tmp_path / "wal", config).run(max_batches=3)
+        with capture_events() as events:
+            StreamRuntime(stream, tmp_path / "wal", config)
+        kinds = [kind for kind, _ in events]
+        assert "runtime.recovered" in kinds
+
+
+class TestBudgetedMode:
+    def test_budgeted_windows_resume_identically(self, tmp_path, stream):
+        config = RuntimeConfig(
+            k=4, batch_size=10, checkpoint_every=3,
+            selector="SumDiff", m=6, seed=2,
+        )
+        uninterrupted = StreamRuntime(stream, tmp_path / "a", config).run()
+        assert all(
+            w.engine == "budgeted" for w in uninterrupted.windows
+        )
+        resumed = None
+        for budget in (2, 4, 100):
+            resumed = StreamRuntime(stream, tmp_path / "b", config).run(
+                max_batches=budget
+            )
+            if resumed.status == "complete":
+                break
+        assert resumed is not None
+        assert resumed.render() == uninterrupted.render()

@@ -1,0 +1,78 @@
+"""Resource guards: soft budgets fire cooperatively, exactly once."""
+
+import pytest
+
+from repro.resilience import capture_events
+from repro.runtime.guards import ResourceGuard, peak_rss_mb
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"soft_memory_mb": 0}, {"soft_memory_mb": -5},
+         {"soft_time_s": 0}, {"soft_time_s": -1}],
+    )
+    def test_bad_budgets_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResourceGuard(**kwargs)
+
+    def test_enabled_reflects_configuration(self):
+        assert not ResourceGuard().enabled
+        assert ResourceGuard(soft_memory_mb=10).enabled
+        assert ResourceGuard(soft_time_s=10).enabled
+
+
+class TestMemoryGuard:
+    def test_under_budget_passes(self):
+        guard = ResourceGuard(soft_memory_mb=100, memory_probe=lambda: 50.0)
+        assert guard.check() is None
+        assert guard.breached is None
+
+    def test_over_budget_breaches(self):
+        guard = ResourceGuard(soft_memory_mb=100, memory_probe=lambda: 150.0)
+        assert guard.check() == "memory"
+        assert guard.breached == "memory"
+
+    def test_breach_is_sticky_and_logged_once(self):
+        readings = iter([150.0])  # a second probe would StopIteration
+        guard = ResourceGuard(
+            soft_memory_mb=100, memory_probe=lambda: next(readings)
+        )
+        with capture_events() as events:
+            assert guard.check() == "memory"
+            assert guard.check() == "memory"
+        breaches = [f for kind, f in events if kind == "guard.breached"]
+        assert len(breaches) == 1
+        assert breaches[0]["budget"] == "memory"
+
+    def test_real_probe_returns_plausible_value(self):
+        rss = peak_rss_mb()
+        assert 1.0 < rss < 1024 * 1024  # between 1 MiB and 1 TiB
+
+
+class TestTimeGuard:
+    def test_fires_only_after_budget_elapses(self):
+        clock = FakeClock()
+        guard = ResourceGuard(soft_time_s=10.0, clock=clock)
+        assert guard.check() is None
+        clock.now = 9.0
+        assert guard.check() is None
+        clock.now = 11.0
+        assert guard.check() == "time"
+
+    def test_memory_breach_wins_when_both_exceeded(self):
+        clock = FakeClock()
+        guard = ResourceGuard(
+            soft_memory_mb=1, soft_time_s=1.0,
+            clock=clock, memory_probe=lambda: 2.0,
+        )
+        clock.now = 5.0
+        assert guard.check() == "memory"

@@ -1,0 +1,191 @@
+"""Supervisor: bounded lifetime restarts, escalation, heartbeats."""
+
+import pytest
+
+from repro.resilience import RetryPolicy, capture_events
+from repro.resilience.policy import BudgetRunTimeout
+from repro.runtime.supervisor import (
+    Heartbeat,
+    HeartbeatMonitor,
+    Supervisor,
+    SupervisorGivingUp,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then returns ``value``."""
+
+    def __init__(self, failures, value="ok", error=RuntimeError):
+        self.remaining = failures
+        self.value = value
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error("boom")
+        return self.value
+
+
+class TestSupervisor:
+    def test_success_first_try_uses_no_budget(self):
+        sup = Supervisor(max_restarts=3)
+        assert sup.run(lambda: 42) == 42
+        assert sup.restarts_used == 0
+        assert sup.restarts_remaining == 3
+
+    def test_restarts_until_success(self):
+        sup = Supervisor(max_restarts=3)
+        flaky = Flaky(failures=2)
+        assert sup.run(flaky) == "ok"
+        assert flaky.calls == 3
+        assert sup.restarts_used == 2
+
+    def test_gives_up_when_budget_spent(self):
+        sup = Supervisor(max_restarts=2)
+        flaky = Flaky(failures=5)
+        with pytest.raises(SupervisorGivingUp) as exc_info:
+            sup.run(flaky, unit="window:0")
+        assert flaky.calls == 3  # initial try + 2 restarts
+        assert exc_info.value.restarts == 2
+        assert exc_info.value.unit == "window:0"
+        assert isinstance(exc_info.value.last_error, RuntimeError)
+
+    def test_budget_is_lifetime_not_per_call(self):
+        """Failures spread across units still converge on escalation."""
+        sup = Supervisor(max_restarts=2)
+        assert sup.run(Flaky(failures=1)) == "ok"
+        assert sup.run(Flaky(failures=1)) == "ok"
+        with pytest.raises(SupervisorGivingUp):
+            sup.run(Flaky(failures=1))
+
+    @pytest.mark.parametrize("interrupt", [KeyboardInterrupt, SystemExit])
+    def test_interrupts_are_never_restarted(self, interrupt):
+        sup = Supervisor(max_restarts=5)
+
+        def fn():
+            raise interrupt()
+
+        with pytest.raises(interrupt):
+            sup.run(fn)
+        assert sup.restarts_used == 0
+
+    def test_deadline_timeouts_are_never_restarted(self):
+        sup = Supervisor(max_restarts=5)
+
+        def fn():
+            raise BudgetRunTimeout("unit", 2.0, 1.0)
+
+        with pytest.raises(BudgetRunTimeout):
+            sup.run(fn)
+        assert sup.restarts_used == 0
+
+    def test_backoff_delays_follow_policy_schedule(self):
+        policy = RetryPolicy(
+            max_retries=0, base_delay=1.0, multiplier=2.0,
+            max_delay=100.0, jitter=0.0, seed=0,
+        )
+        slept = []
+        sup = Supervisor(max_restarts=3, backoff=policy, sleep=slept.append)
+        with pytest.raises(SupervisorGivingUp):
+            sup.run(Flaky(failures=9))
+        assert slept == [1.0, 2.0, 4.0]
+
+    def test_no_sleep_hook_means_no_sleeping(self):
+        sup = Supervisor(
+            max_restarts=2,
+            backoff=RetryPolicy(max_retries=0, base_delay=5.0, jitter=0.0),
+        )
+        # Would sleep 5s per restart if the hook existed; returns fast.
+        assert sup.run(Flaky(failures=2)) == "ok"
+
+    def test_restart_and_giveup_events(self):
+        sup = Supervisor(max_restarts=1)
+        with capture_events() as events:
+            with pytest.raises(SupervisorGivingUp):
+                sup.run(Flaky(failures=3), unit="w")
+        kinds = [kind for kind, _ in events]
+        assert kinds.count("supervisor.restart") == 1
+        assert kinds.count("supervisor.giveup") == 1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Supervisor(max_restarts=-1)
+
+
+class TestHeartbeat:
+    def test_beat_refreshes_age(self):
+        clock = FakeClock()
+        beat = Heartbeat("w0", clock=clock)
+        clock.advance(10.0)
+        assert beat.age() == 10.0
+        beat.beat()
+        assert beat.age() == 0.0
+        assert beat.beats == 1
+
+    def test_monitor_flags_only_stale_workers(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(timeout=5.0, clock=clock)
+        a = monitor.register("a")
+        monitor.register("b")
+        clock.advance(6.0)
+        a.beat()
+        clock.advance(1.0)
+        stale = monitor.stale()
+        assert list(stale) == ["b"]
+        assert stale["b"] == 7.0
+        assert not monitor.healthy()
+
+    def test_fresh_monitor_is_healthy(self):
+        monitor = HeartbeatMonitor(timeout=5.0, clock=FakeClock())
+        monitor.register("a")
+        assert monitor.healthy()
+
+    def test_register_is_idempotent(self):
+        monitor = HeartbeatMonitor(timeout=5.0, clock=FakeClock())
+        assert monitor.register("a") is monitor.register("a")
+
+    def test_stale_emits_event(self):
+        clock = FakeClock()
+        monitor = HeartbeatMonitor(timeout=1.0, clock=clock)
+        monitor.register("a")
+        clock.advance(2.0)
+        with capture_events() as events:
+            monitor.stale()
+        assert any(kind == "heartbeat.stale" for kind, _ in events)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(timeout=0.0)
+
+
+class TestParallelChunkBeacon:
+    def test_executor_emits_chunk_done_events(self):
+        """The parallel layer beats once per completed chunk, so a
+        heartbeat monitor can track pool liveness from events alone."""
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(workers=2, chunk_size=2)
+        with capture_events() as events:
+            result = executor.map(_square, [1, 2, 3, 4, 5], unit="beat")
+        assert result == [1, 4, 9, 16, 25]
+        done = [f for kind, f in events if kind == "parallel.chunk_done"]
+        assert [d["chunk"] for d in done] == [0, 1, 2]
+        assert sum(d["items"] for d in done) == 5
+
+
+def _square(x):
+    return x * x

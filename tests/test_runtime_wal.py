@@ -1,0 +1,213 @@
+"""Write-ahead log: framing, torn tails, interior corruption, compaction."""
+
+import pytest
+
+from repro.resilience import capture_events
+from repro.resilience.faults import (
+    DiskFaultInjector,
+    DiskFaultPlan,
+    DiskFullFault,
+    FsyncFault,
+    TornWriteFault,
+)
+from repro.runtime.wal import WALError, WriteAheadLog
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return WriteAheadLog(tmp_path / "wal", fsync=False)
+
+
+BATCHES = [
+    [[0.0, "a", "b", 1.0]],
+    [[1.0, "b", "c", 1.0], [2.0, "c", "d", 1.0]],
+    [[3.0, "a", "d", 1.0]],
+]
+
+
+class TestAppendReplay:
+    def test_fresh_log_is_empty(self, wal):
+        assert wal.last_seq == 0
+        assert wal.compacted_upto == 0
+        assert wal.replay() == []
+        assert wal.path.exists()  # header written eagerly
+
+    def test_append_assigns_consecutive_seqs(self, wal):
+        assert [wal.append(b) for b in BATCHES] == [1, 2, 3]
+        assert wal.last_seq == 3
+
+    def test_replay_roundtrips_events(self, wal):
+        for batch in BATCHES:
+            wal.append(batch)
+        records = wal.replay()
+        assert [rec.seq for rec in records] == [1, 2, 3]
+        assert [rec.events for rec in records] == BATCHES
+
+    def test_replay_after_seq_skips_prefix(self, wal):
+        for batch in BATCHES:
+            wal.append(batch)
+        assert [rec.seq for rec in wal.replay(after_seq=2)] == [3]
+
+    def test_reopen_preserves_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+        for batch in BATCHES:
+            wal.append(batch)
+        reopened = WriteAheadLog(tmp_path / "wal", fsync=False)
+        assert reopened.last_seq == 3
+        assert [rec.events for rec in reopened.replay()] == BATCHES
+        assert not reopened.torn_tail_recovered
+
+
+class TestTornWrites:
+    def _truncated(self, tmp_path, drop: int) -> WriteAheadLog:
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+        for batch in BATCHES:
+            wal.append(batch)
+        raw = wal.path.read_bytes()
+        wal.path.write_bytes(raw[:-drop])
+        return WriteAheadLog(tmp_path / "wal", fsync=False)
+
+    @pytest.mark.parametrize("drop", [1, 5, 20])
+    def test_torn_tail_is_truncated(self, tmp_path, drop):
+        reopened = self._truncated(tmp_path, drop)
+        assert reopened.torn_tail_recovered
+        assert reopened.last_seq == 2
+        assert [rec.events for rec in reopened.replay()] == BATCHES[:2]
+
+    def test_torn_tail_emits_event(self, tmp_path):
+        with capture_events() as events:
+            self._truncated(tmp_path, 5)
+        assert any(kind == "wal.torn_tail" for kind, _ in events)
+
+    def test_appending_after_torn_recovery_continues_sequence(self, tmp_path):
+        reopened = self._truncated(tmp_path, 5)
+        assert reopened.append([[9.0, "x", "y", 1.0]]) == 3
+        # The re-appended record must parse on the next open.
+        third = WriteAheadLog(tmp_path / "wal", fsync=False)
+        assert third.last_seq == 3
+        assert third.replay(after_seq=2)[0].events == [[9.0, "x", "y", 1.0]]
+
+    def test_mid_append_crash_leaves_recoverable_tail(self, tmp_path):
+        """A chaos hook aborting between the two append halves leaves
+        exactly the torn tail the next open tolerates."""
+
+        class Abort(RuntimeError):
+            pass
+
+        def chaos(point):
+            if point == "wal.append.mid":
+                raise Abort()
+
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False, chaos=chaos)
+        with pytest.raises(Abort):
+            wal.append(BATCHES[0])
+        reopened = WriteAheadLog(tmp_path / "wal", fsync=False)
+        assert reopened.torn_tail_recovered
+        assert reopened.last_seq == 0
+
+
+class TestInteriorCorruption:
+    def test_corrupt_interior_record_refuses_recovery(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+        for batch in BATCHES:
+            wal.append(batch)
+        lines = wal.path.read_text(encoding="utf-8").splitlines(keepends=True)
+        lines[2] = "W1 2 deadbeefdeadbeef {garbage\n"
+        wal.path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(WALError, match="modified, not torn"):
+            WriteAheadLog(tmp_path / "wal", fsync=False)
+
+    def test_sequence_gap_refuses_recovery(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+        for batch in BATCHES:
+            wal.append(batch)
+        lines = wal.path.read_text(encoding="utf-8").splitlines(keepends=True)
+        del lines[2]  # drop record 2; records 1 and 3 remain
+        wal.path.write_text("".join(lines), encoding="utf-8")
+        with pytest.raises(WALError, match="sequence gap"):
+            WriteAheadLog(tmp_path / "wal", fsync=False)
+
+    def test_missing_header_refuses_recovery(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+        wal.append(BATCHES[0])
+        lines = wal.path.read_text(encoding="utf-8").splitlines(keepends=True)
+        wal.path.write_text("".join(lines[1:]), encoding="utf-8")
+        with pytest.raises(WALError, match="header"):
+            WriteAheadLog(tmp_path / "wal", fsync=False)
+
+
+class TestCompaction:
+    def test_compact_drops_prefix_and_survives_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+        for batch in BATCHES:
+            wal.append(batch)
+        assert wal.compact(2) == 2
+        assert wal.compacted_upto == 2
+        assert [rec.seq for rec in wal.replay(after_seq=2)] == [3]
+        reopened = WriteAheadLog(tmp_path / "wal", fsync=False)
+        assert reopened.compacted_upto == 2
+        assert reopened.last_seq == 3
+
+    def test_append_after_compaction_continues_sequence(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False)
+        for batch in BATCHES:
+            wal.append(batch)
+        wal.compact(3)
+        assert wal.append([[4.0, "d", "e", 1.0]]) == 4
+
+    def test_compact_past_head_raises(self, wal):
+        wal.append(BATCHES[0])
+        with pytest.raises(WALError, match="past the log head"):
+            wal.compact(5)
+
+    def test_compact_is_idempotent(self, wal):
+        for batch in BATCHES:
+            wal.append(batch)
+        assert wal.compact(2) == 2
+        assert wal.compact(2) == 0
+        assert wal.compact(1) == 0
+
+    def test_replay_before_compaction_point_raises(self, wal):
+        for batch in BATCHES:
+            wal.append(batch)
+        wal.compact(2)
+        with pytest.raises(WALError, match="compacted away"):
+            wal.replay(after_seq=0)
+
+
+class TestDiskFaults:
+    # Write/fsync indices are 1-based across the injector's lifetime;
+    # opening a fresh log performs one write (the header rewrite), so
+    # the second *append* is operation 3.
+
+    def test_enospc_append_is_not_acknowledged(self, tmp_path):
+        disk = DiskFaultInjector(DiskFaultPlan(enospc_nth=(3,)))
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False, disk=disk)
+        wal.append(BATCHES[0])
+        with pytest.raises(DiskFullFault):
+            wal.append(BATCHES[1])
+        assert wal.last_seq == 1
+        # ENOSPC wrote nothing: the log is clean on reopen.
+        reopened = WriteAheadLog(tmp_path / "wal", fsync=False)
+        assert reopened.last_seq == 1
+        assert not reopened.torn_tail_recovered
+
+    def test_torn_write_fault_leaves_recoverable_tail(self, tmp_path):
+        disk = DiskFaultInjector(DiskFaultPlan(torn_nth=(3,)))
+        wal = WriteAheadLog(tmp_path / "wal", fsync=False, disk=disk)
+        wal.append(BATCHES[0])
+        with pytest.raises(TornWriteFault):
+            wal.append(BATCHES[1])
+        assert wal.last_seq == 1
+        reopened = WriteAheadLog(tmp_path / "wal", fsync=False)
+        assert reopened.torn_tail_recovered
+        assert reopened.last_seq == 1
+        assert [rec.events for rec in reopened.replay()] == BATCHES[:1]
+
+    def test_fsync_fault_is_not_acknowledged(self, tmp_path):
+        disk = DiskFaultInjector(DiskFaultPlan(fsync_nth=(3,)))
+        wal = WriteAheadLog(tmp_path / "wal", fsync=True, disk=disk)
+        wal.append(BATCHES[0])
+        with pytest.raises(FsyncFault):
+            wal.append(BATCHES[1])
+        assert wal.last_seq == 1
