@@ -1,0 +1,157 @@
+"""Micro-benchmark: Δ-aware pruned top-k pass against the unpruned pass.
+
+Times the t2 phase of a top-k ground-truth pass — bound computation,
+source ordering, and one (possibly skipped or level-cut) t2 traversal
+per t1 source — against the same single-pass collection without bounds
+or cuts, over every catalog dataset at the benchmark scale and for both
+unweighted engines (incremental repair and plain CSR).  The t1 level
+rows and the snapshot delta are precomputed outside the timed region:
+both sides pay them identically, so the measured ratio is exactly what
+pruning buys on the traversal phase.
+
+The finalized top-k (sort by ``(−Δ, repr)``, truncate) must be
+identical pruned and unpruned — the differential harness already pins
+this across the whole matrix; the benchmark re-asserts it on the real
+catalog graphs it times.
+
+With ``REPRO_WRITE_BENCH`` set, writes the ``BENCH_prune.json``
+baseline at the repository root (schema ``bench-prune/v1``), stamped
+with host provenance and the per-engine skip/cut counters so every
+recorded speedup is attributable.  The CI gate in
+``scripts/check_bench.py`` enforces a 1.5x floor on the best
+dataset/engine cell — the win is algorithmic, so it must exist on any
+host.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.core.fastpairs import csr_top_k_rows
+from repro.core.pairs import ConvergingPair, canonical_pair
+from repro.datasets import dataset_names, eval_snapshots, load
+from repro.graph.csr import bfs_levels
+from repro.graph.incremental import SnapshotDelta
+from repro.graph.prune import PruneStats
+from repro.parallel import available_start_method
+
+from conftest import emit
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_prune.json"
+ROUNDS = 3
+K = 10
+
+
+def _best_of(fn, rounds=ROUNDS):
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return result, min(times)
+
+
+def _finalize(rows, k):
+    pairs = []
+    for u, v, d1, d2 in rows:
+        cu, cv = canonical_pair(u, v)
+        pairs.append(ConvergingPair(cu, cv, d1, d2))
+    pairs.sort(key=ConvergingPair.sort_key)
+    return pairs[:k]
+
+
+def test_prune_speedup(config):
+    datasets = {}
+    speedup = {}
+    for name in dataset_names():
+        g1, g2 = eval_snapshots(load(name, scale=config.scale))
+        delta = SnapshotDelta.from_graphs(g1, g2)
+        csr1 = delta.csr1
+        # Both sides pay the t1 phase and the delta identically —
+        # precompute them so the timed region is the t2 phase alone.
+        rows1 = [bfs_levels(csr1, i) for i in range(csr1.num_nodes)]
+
+        engines = {}
+        reference = None
+        for engine, incremental in (("incremental", True), ("csr", False)):
+            full_rows, full_s = _best_of(
+                lambda inc=incremental: csr_top_k_rows(
+                    g1, g2, K, incremental=inc, prune=False,
+                    delta=delta, rows1=rows1,
+                )
+            )
+            stats = PruneStats()
+            pruned_rows, pruned_s = _best_of(
+                lambda inc=incremental: csr_top_k_rows(
+                    g1, g2, K, incremental=inc, prune=True,
+                    delta=delta, rows1=rows1,
+                    stats=PruneStats(),
+                )
+            )
+            # One extra run to capture the counters outside the timing.
+            csr_top_k_rows(
+                g1, g2, K, incremental=incremental, prune=True,
+                delta=delta, rows1=rows1, stats=stats,
+            )
+            top_full = _finalize(full_rows, K)
+            top_pruned = _finalize(pruned_rows, K)
+            assert top_pruned == top_full
+            if reference is None:
+                reference = top_full
+            else:
+                assert top_full == reference  # engines agree on the top-k
+            engines[engine] = {
+                "full_s": round(full_s, 6),
+                "pruned_s": round(pruned_s, 6),
+                "speedup": round(full_s / pruned_s, 3),
+                "skipped": stats.skipped,
+                "cut": stats.cut,
+            }
+            speedup[f"{name}:{engine}"] = engines[engine]["speedup"]
+
+        kth_delta = int(reference[-1].delta) if reference else 0
+        datasets[name] = {
+            "nodes": delta.csr2.num_nodes,
+            "edges_t2": g2.num_edges,
+            "new_edges": delta.num_new_edges,
+            "kth_delta": kth_delta,
+            "engines": engines,
+        }
+
+    lines = [f"Δ-aware pruned top-{K} pass @ scale {config.scale}:"]
+    for name, row in datasets.items():
+        for engine, cell in row["engines"].items():
+            lines.append(
+                f"  {name:<14} {engine:<12} "
+                f"full {cell['full_s'] * 1e3:8.1f} ms   "
+                f"pruned {cell['pruned_s'] * 1e3:8.1f} ms   "
+                f"({cell['speedup']:.2f}x, skipped {cell['skipped']}, "
+                f"cut {cell['cut']})"
+            )
+    emit("\n".join(lines))
+
+    if os.environ.get("REPRO_WRITE_BENCH"):
+        baseline = {
+            "schema": "bench-prune/v1",
+            "scale": config.scale,
+            "k": K,
+            "host": {
+                "cpus": os.cpu_count() or 1,
+                "platform": platform.system().lower(),
+                "start_method": available_start_method(),
+            },
+            "datasets": datasets,
+            "speedup": speedup,
+        }
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        emit(f"wrote {BASELINE_PATH}")
+
+    # Algorithmic, not parallel: the win must exist on any host.  The
+    # 1.5x catalog-scale floor on the best dataset/engine cell is
+    # enforced on the committed baseline by scripts/check_bench.py.
+    assert max(speedup.values()) >= 1.0

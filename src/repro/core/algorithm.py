@@ -69,6 +69,7 @@ def find_top_k_converging_pairs(
     validate: bool = True,
     budget_limit: Optional[int] = -1,
     workers: int = 1,
+    prune: bool = False,
 ) -> TopKResult:
     """Algorithm 1: budgeted top-k converging pairs.
 
@@ -94,6 +95,17 @@ def find_top_k_converging_pairs(
         Process-pool size for the phase-2 per-candidate SSSP batch
         (1 = serial).  Results and budget accounting are bit-identical
         at any worker count; candidate selection (phase 1) is untouched.
+    prune:
+        Apply Δ-aware pruning (:mod:`repro.graph.prune`) to the phase-2
+        traversals: serial runs maintain the running k-th best Δ and
+        skip or level-cut candidates whose bound rules them out; pooled
+        workers apply the static Δ ≥ 1 bound (rows are precomputed, so
+        no running k-th exists yet).  The returned pairs and the budget
+        ledger are identical either way — a skipped or cut traversal
+        still charges as one SSSP, exactly like an unpruned one, because
+        the paper's budget counts SSSP *results obtained* (the pruned
+        engine provably obtains the same result).  Unweighted snapshots
+        only.
 
     Returns
     -------
@@ -104,6 +116,11 @@ def find_top_k_converging_pairs(
         raise ValueError(f"k must be >= 1, got {k}")
     if m < 1:
         raise ValueError(f"m must be >= 1, got {m}")
+    if prune and (g1.is_weighted() or g2.is_weighted()):
+        raise ValueError(
+            "prune=True requires unweighted snapshots; the weighted "
+            "(dict) scoring path has no level arrays to bound"
+        )
     if validate:
         check_snapshot_pair(g1, g2)
 
@@ -139,7 +156,8 @@ def find_top_k_converging_pairs(
         )
     else:
         scored = _score_candidates_csr(
-            g1, g2, candidates, result, budget, workers
+            g1, g2, candidates, result, budget, workers,
+            prune=prune, k=k,
         )
 
     ranked = sorted(scored.values(), key=ConvergingPair.sort_key)
@@ -162,9 +180,15 @@ def _dict_rows_task(
 def _score_candidates_dict(
     g1: Graph, g2: Graph, candidates: Sequence[Node],
     result: "SelectionResult", budget: SPBudget,
-    workers: int = 1,
+    workers: int = 1, prune: bool = False, k: int = 0,
 ) -> Dict[tuple, ConvergingPair]:
-    """Reference scoring path: one distance map pair per candidate."""
+    """Reference scoring path: one distance map pair per candidate.
+
+    ``prune``/``k`` keep the signature interchangeable with
+    ``_score_candidates_csr``; distance maps carry no level arrays to
+    bound, so this path never prunes (callers reject ``prune=True`` on
+    weighted inputs before reaching it).
+    """
     fresh: Dict[Node, tuple] = {}
     if workers > 1:
         specs = [
@@ -216,8 +240,11 @@ def _csr_rows_task(
     i1, i2 = spec
     from repro.graph.csr import bfs_levels
     from repro.graph.incremental import repair_levels
+    from repro.graph.prune import source_bound
 
-    delta = worker_state()["delta"]
+    state = worker_state()
+    delta = state["delta"]
+    plan = state.get("plan")
     lv1 = None
     lv2 = None
     if i1 >= 0:
@@ -225,8 +252,23 @@ def _csr_rows_task(
         raw1 = bfs_levels(delta.csr1, i1)
         lv1 = raw1.astype(np.int64)
         if i2 >= 0:
-            # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged in-parent
-            lv2 = repair_levels(delta, raw1)[delta.mapping].astype(np.int64)
+            # Static Δ ≥ 1 prune: rows are precomputed before scoring,
+            # so no running k-th Δ exists yet — only the always-sound
+            # "no converging pair at all" bound applies.  The returned
+            # row differs from the exact one only where Δ would be ≤ 0,
+            # which scoring discards, so the result is unchanged.
+            if plan is not None and source_bound(raw1, plan) < 1:
+                lv2 = lv1
+            elif plan is not None:
+                # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged in-parent
+                lv2 = repair_levels(
+                    delta, raw1, max_level=int(raw1.max()) - 1
+                )[delta.mapping].astype(np.int64)
+            else:
+                # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged in-parent
+                lv2 = repair_levels(delta, raw1)[delta.mapping].astype(
+                    np.int64
+                )
     if i2 >= 0 and lv2 is None:
         # reprolint: disable=R004 -- charged in the parent's scoring loop before dispatch (ledger stays in-parent)
         lv2 = bfs_levels(delta.csr2, i2)[delta.mapping].astype(np.int64)
@@ -236,7 +278,7 @@ def _csr_rows_task(
 def _score_candidates_csr(
     g1: Graph, g2: Graph, candidates: Sequence[Node],
     result: "SelectionResult", budget: SPBudget,
-    workers: int = 1,
+    workers: int = 1, prune: bool = False, k: int = 0,
 ) -> Dict[tuple, ConvergingPair]:
     """Vectorised scoring path for unweighted snapshots.
 
@@ -255,15 +297,35 @@ def _score_candidates_csr(
     first (the delta ships to each worker once, via the pool
     initializer); charging and scoring stay in the parent, in candidate
     order.
+
+    ``prune=True`` (with ``k``, the number of pairs the caller will
+    keep) turns on Δ-aware pruning from :mod:`repro.graph.prune`.
+    Serially computed t2 rows are skipped or level-cut against the
+    *running* k-th best Δ of the pairs scored so far; pooled rows are
+    precomputed before any scoring, so workers receive the plan and
+    apply only the static Δ ≥ 1 bound.  Either way the scored map may
+    silently lack (or under-score) pairs that provably rank strictly
+    below the final k-th Δ — the caller's ``ranked[:k]`` truncation is
+    unaffected, which the differential harness pins byte-for-byte.
+    Budget charges are untouched: a pruned traversal charges exactly
+    like the unpruned one it replaces.
     """
     from repro.graph.csr import UNREACHED, bfs_levels
     from repro.graph.incremental import SnapshotDelta, repair_levels
+    from repro.graph.prune import (
+        KthTracker,
+        PrunePlan,
+        bounded_bfs_levels,
+        source_bound,
+    )
 
     delta = SnapshotDelta.from_graphs(g1, g2)
     csr1, csr2 = delta.csr1, delta.csr2
     n = csr1.num_nodes
     nodes = csr1.nodes
     align = delta.mapping
+    plan = PrunePlan.from_delta(delta) if prune else None
+    tracker = KthTracker(k) if prune else None
 
     fresh: Dict[Node, tuple] = {}
     if workers > 1:
@@ -275,7 +337,9 @@ def _score_candidates_csr(
             for c in candidates
         ]
         if any(i1 >= 0 or i2 >= 0 for i1, i2 in specs):
-            executor = ParallelExecutor(workers, state={"delta": delta})
+            executor = ParallelExecutor(
+                workers, state={"delta": delta, "plan": plan}
+            )
             rows = executor.map(_csr_rows_task, specs, unit="topk.sssp")
             fresh = dict(zip(candidates, rows))
 
@@ -306,16 +370,42 @@ def _score_candidates_csr(
             budget.charge("topk", "g2", 1)
             if pre2 is not None:
                 lv2 = pre2
-            elif raw1 is not None:
-                # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged above
-                lv2 = repair_levels(delta, raw1)[align].astype(np.int64)
             else:
-                lv2 = bfs_levels(csr2, csr2.index[c])[align].astype(np.int64)
+                # Serial fresh row: the running k-th Δ is live here, so
+                # the full dynamic prune applies.  The charge above is
+                # deliberately unconditional — a skipped traversal still
+                # obtained its SSSP *result* (provably all-Δ≤kth), and
+                # the paper's budget counts results, not edges scanned.
+                theta = tracker.threshold if tracker is not None else 0
+                bound_lv1 = raw1 if raw1 is not None else lv1
+                if plan is not None and tracker is not None and (
+                    source_bound(bound_lv1, plan) < theta
+                ):
+                    lv2 = lv1
+                elif raw1 is not None:
+                    cut = (
+                        int(raw1.max()) - theta if tracker is not None
+                        else None
+                    )
+                    # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged above
+                    lv2 = repair_levels(delta, raw1, max_level=cut)[
+                        align
+                    ].astype(np.int64)
+                elif tracker is not None:
+                    # reprolint: disable=R004 -- the level-cut t2 row is this candidate's charged SSSP, bounded not skipped
+                    lv2 = bounded_bfs_levels(
+                        csr2, csr2.index[c], int(lv1.max()) - theta
+                    )[align].astype(np.int64)
+                else:
+                    lv2 = bfs_levels(csr2, csr2.index[c])[align].astype(
+                        np.int64
+                    )
         else:
             lv2 = row_to_levels(cached2, csr1.index)
         reached = lv1 != UNREACHED
         reached[csr1.index[c]] = False
         hits = np.flatnonzero(reached & (lv1 - lv2 > 0))
+        new_deltas: List[int] = []
         for j in hits:
             v = nodes[j]
             key = canonical_pair(c, v)
@@ -323,4 +413,11 @@ def _score_candidates_csr(
                 scored[key] = ConvergingPair(
                     key[0], key[1], int(lv1[j]), int(lv2[j])
                 )
+                if tracker is not None:
+                    new_deltas.append(int(lv1[j]) - int(lv2[j]))
+        # Only first-sighting deltas feed the tracker: offering a pair
+        # from both endpoints would inflate the running k-th and
+        # over-prune past the byte-identity guarantee.
+        if tracker is not None and new_deltas:
+            tracker.offer(np.asarray(new_deltas, dtype=np.int64))
     return scored

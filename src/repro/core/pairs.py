@@ -190,15 +190,28 @@ def k_for_delta_threshold(hist: Counter, delta_min: float) -> int:
     return sum(c for d, c in hist.items() if d >= delta_min)
 
 
+def _require_prunable(resolved: str, what: str) -> None:
+    """Reject ``prune=True`` on engines without level-array bounds."""
+    if resolved == "dict":
+        raise ValueError(
+            f"prune=True requires an unweighted engine (csr/incremental); "
+            f"the dict engine has no level arrays to bound {what}"
+        )
+
+
 def converging_pairs_at_threshold(
     g1: Graph, g2: Graph, delta_min: float, validate: bool = True,
-    engine: str = "auto",
+    engine: str = "auto", prune: bool = False,
 ) -> List[ConvergingPair]:
     """All connected t1-pairs with ``Δ >= delta_min``, best Δ first.
 
     ``delta_min`` must be positive: Δ = 0 pairs (no change) are never
     "converging", and collecting them would materialise nearly all pairs.
     ``engine`` follows :func:`delta_histogram`'s convention.
+
+    ``prune=True`` (unweighted engines only) skips or level-cuts t2
+    traversals whose Δ bound falls below ``delta_min`` — see
+    :mod:`repro.graph.prune`.  The result is identical, pair for pair.
     """
     if delta_min <= 0:
         raise ValueError(f"delta_min must be positive, got {delta_min}")
@@ -206,11 +219,15 @@ def converging_pairs_at_threshold(
         check_snapshot_pair(g1, g2)
     out: List[ConvergingPair] = []
     resolved = _resolve_engine(g1, g2, engine)
+    if prune:
+        _require_prunable(resolved, "against the threshold")
     if resolved != "dict":
         from repro.core.fastpairs import csr_pairs_at_threshold
 
         rows = csr_pairs_at_threshold(
-            g1, g2, delta_min, incremental=resolved == "incremental"
+            g1, g2, delta_min,
+            incremental=resolved == "incremental",
+            prune=prune,
         )
         for u, v, d1uv, d2uv in rows:
             cu, cv = canonical_pair(u, v)
@@ -233,7 +250,7 @@ def converging_pairs_at_threshold(
 
 def top_k_converging_pairs(
     g1: Graph, g2: Graph, k: int, validate: bool = True,
-    engine: str = "auto",
+    engine: str = "auto", prune: bool = False,
 ) -> List[ConvergingPair]:
     """The exact top-k converging pairs (Problem 1), ground-truth solution.
 
@@ -243,10 +260,34 @@ def top_k_converging_pairs(
     inputs always yield the same k pairs.  ``engine`` follows
     :func:`delta_histogram`'s convention and applies to both passes.
 
+    ``prune=True`` (unweighted engines only) replaces the two passes
+    with one Δ-aware pruned pass: it maintains the running k-th best Δ,
+    skips sources whose bound rules them out, and level-cuts the rest
+    (:mod:`repro.graph.prune`).  Because the running threshold never
+    exceeds the final k-th Δ and ties prune only *strictly* below it,
+    the returned list is identical — same pairs, same order — to the
+    unpruned engines.
+
     Returns fewer than k pairs when fewer than k pairs have Δ > 0.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if prune:
+        resolved = _resolve_engine(g1, g2, engine)
+        _require_prunable(resolved, "against the running k-th Δ")
+        if validate:
+            check_snapshot_pair(g1, g2)
+        from repro.core.fastpairs import csr_top_k_rows
+
+        rows = csr_top_k_rows(
+            g1, g2, k, incremental=resolved == "incremental", prune=True
+        )
+        out: List[ConvergingPair] = []
+        for u, v, d1uv, d2uv in rows:
+            cu, cv = canonical_pair(u, v)
+            out.append(ConvergingPair(cu, cv, d1uv, d2uv))
+        out.sort(key=ConvergingPair.sort_key)
+        return out[:k]
     hist = delta_histogram(g1, g2, validate=validate, engine=engine)
     # Find the smallest positive threshold with at least k pairs above it.
     threshold = None

@@ -1,0 +1,215 @@
+"""Δ-aware pruning: upper bounds, running k-th tracking, cut traversals.
+
+The budgeted pipeline charges one SSSP per scored source, but until now
+every charged traversal ran to exhaustion — even when the source
+provably could not place a pair into the top-k.  The top-k closeness
+literature (Borassi et al. 2015; Bergamini et al. 2017) cuts each BFS
+once an upper bound rules the source out; this module ports that cut to
+the convergence score ``Δ(u, v) = d_t1(u, v) − d_t2(u, v)``.
+
+The bound rests on one structural fact of insertion-only evolution
+(``G_t1 ⊆ G_t2``).  Take any pair with ``Δ(u, v) > 0``: its t2 shortest
+path must cross at least one inserted edge, and the path *prefix* up to
+the **first** inserted edge ``(a, b)`` uses only t1 edges.  Therefore
+
+    d_t2(u, v) ≥ d_t1(u, a) + 1 ≥ prox1(u) + 1,
+
+where ``prox1(u)`` is the minimum t1 level from ``u`` over the
+t1-present endpoints of inserted edges.  Combined with
+``d_t1(u, v) ≤ ecc1(u)`` (the largest finite t1 level from ``u``):
+
+    Δ(u, v) ≤ ecc1(u) − prox1(u) − 1  =: B(u)        (per source)
+    Δ(u, v) ≤ d_t1(u, v) − prox1(u) − 1              (per target)
+
+Both bounds fall out of the t1 level array alone — no t2 work.  A
+source whose ``B(u)`` drops below the running k-th best Δ is *skipped*
+(its t2 traversal never runs); a surviving source's traversal is *cut*
+level-by-level: only targets with ``d_t2 ≤ ecc1(u) − θ`` can reach
+``Δ ≥ θ``, so the frontier loop stops at that depth.  A source with no
+t1-reachable inserted endpoint has no converging pair at all (every
+finite distance is already optimal) and is always skippable.
+
+Soundness of the cut: a level-limited traversal performs iterations
+identical to the unlimited one up to the cut depth, so every level it
+*does* assign at or below ``max_level`` is exact; pairs collected at
+``Δ ≥ θ`` necessarily satisfy ``d_t2 ≤ max_level`` and therefore carry
+exact distances, while nodes beyond the cut keep ``Δ ≤ 0`` and are
+excluded anyway.  The differential harness (tests/test_prune_oracle.py)
+pins byte-identity of the final output against every unpruned engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, UNREACHED, _multi_arange
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.graph.incremental import SnapshotDelta
+
+#: Bound value meaning "no converging pair can involve this source".
+#: More negative than any achievable Δ bound, so ``bound < threshold``
+#: prunes it under every threshold ≥ any real Δ.
+NO_PAIRS = -(2**31)
+
+
+@dataclass(frozen=True)
+class PrunePlan:
+    """Per-snapshot-pair pruning state, built once and reused per source.
+
+    Attributes
+    ----------
+    seed_idx1:
+        csr1 indices of the inserted-edge endpoints that already exist
+        at t1 — the only places a shorter t2 path can branch off a t1
+        prefix.  Plain numpy, so the plan ships to parallel workers
+        once per pool exactly like :class:`SnapshotDelta` itself.
+    """
+
+    seed_idx1: np.ndarray
+
+    @classmethod
+    def from_delta(cls, delta: "SnapshotDelta") -> "PrunePlan":
+        """Derive the pruning plan from a precomputed snapshot delta."""
+        if not delta.edge_tails.size:
+            return cls(seed_idx1=np.empty(0, dtype=np.int64))
+        # Inserted endpoints in csr2 index space -> keep those present at
+        # t1 and translate to csr1 indices via the alignment mapping.
+        endpoints2 = np.unique(
+            np.concatenate([delta.edge_tails, delta.edge_heads])
+        )
+        back = np.full(delta.csr2.num_nodes, -1, dtype=np.int64)
+        back[delta.mapping] = np.arange(delta.mapping.size, dtype=np.int64)
+        idx1 = back[endpoints2]
+        return cls(seed_idx1=idx1[idx1 >= 0])
+
+
+@dataclass
+class PruneStats:
+    """Counters describing what a pruned pass actually did.
+
+    ``sources`` is the number of sources considered; each lands in
+    exactly one of ``skipped`` (bound ruled it out before any t2 work),
+    ``cut`` (traversal ran level-limited), or ``full`` (no limit
+    applied).  Benchmarks surface these so a "speedup" is attributable.
+    """
+
+    sources: int = 0
+    skipped: int = 0
+    cut: int = 0
+    full: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for JSON baselines."""
+        return {
+            "sources": self.sources,
+            "skipped": self.skipped,
+            "cut": self.cut,
+            "full": self.full,
+        }
+
+
+def source_bound(levels1: np.ndarray, plan: PrunePlan) -> int:
+    """Upper bound ``B(u)`` on the best Δ achievable from this source.
+
+    ``levels1`` is the source's t1 level array over the csr1 universe
+    (any integer dtype, ``UNREACHED`` where disconnected).  Returns
+    ``ecc1(u) − prox1(u) − 1``, or :data:`NO_PAIRS` when no inserted
+    endpoint is t1-reachable (then *no* pair involving this source can
+    converge: every t2 shortest path from it that crosses an inserted
+    edge would need a t1 prefix to a reachable endpoint).
+    """
+    if not plan.seed_idx1.size:
+        return NO_PAIRS
+    seed_levels = levels1[plan.seed_idx1]
+    seed_levels = seed_levels[seed_levels != UNREACHED]
+    if not seed_levels.size:
+        return NO_PAIRS
+    ecc = int(levels1.max())
+    return ecc - int(seed_levels.min()) - 1
+
+
+class KthTracker:
+    """Running k-th best Δ over the pair scores offered so far.
+
+    Maintains the top-``k`` positive Δ values seen (an unordered numpy
+    buffer trimmed with ``np.partition``).  :attr:`threshold` is the
+    smallest Δ that could still *enter or tie* the current top-k — 1
+    until ``k`` positive scores exist (any converging pair might still
+    place), then the running k-th value itself.  Pruning strictly below
+    the threshold and collecting at-or-above it preserves ties at the
+    k-th Δ, so the deterministic ``(−Δ, repr)`` final ordering is
+    untouched.
+
+    Callers must offer each *distinct* pair's Δ at most once: offering a
+    pair from both endpoints would inflate the running k-th and
+    over-prune.
+    """
+
+    __slots__ = ("k", "_top")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._top = np.empty(0, dtype=np.int64)
+
+    def offer(self, deltas: np.ndarray) -> None:
+        """Fold a batch of candidate Δ values into the running top-k."""
+        positive = deltas[deltas > 0]
+        if not positive.size:
+            return
+        merged = np.concatenate([self._top, positive.astype(np.int64)])
+        if merged.size > self.k:
+            cut = merged.size - self.k
+            merged = np.partition(merged, cut)[cut:]
+        self._top = merged
+
+    @property
+    def threshold(self) -> int:
+        """Smallest Δ that could still enter or tie the running top-k."""
+        if self._top.size < self.k:
+            return 1
+        return int(self._top.min())
+
+
+def bounded_bfs_levels(
+    csr: CSRGraph, source_idx: int, max_level: Optional[int] = None
+) -> np.ndarray:
+    """Level-cut BFS: exact levels up to ``max_level``, sentinel beyond.
+
+    Identical frontier expansion to :func:`repro.graph.csr.bfs_levels`,
+    stopped once the next level would exceed ``max_level``.  Unreached
+    *and* cut nodes carry the sentinel ``csr.num_nodes`` — deliberately
+    **not** ``UNREACHED``: downstream Δ scoring computes ``lv1 − lv2``,
+    and a ``-1`` sentinel would turn a cut node into a fake convergence
+    (``lv1 + 1 > 0``) while the above-any-level sentinel makes every cut
+    node's Δ negative, i.e. ignorable.
+    """
+    n = csr.num_nodes
+    if not 0 <= source_idx < n:
+        raise IndexError(f"source index {source_idx} out of range [0, {n})")
+    sentinel = n
+    levels = np.full(n, sentinel, dtype=np.int32)
+    levels[source_idx] = 0
+    frontier = np.array([source_idx], dtype=np.int64)
+    depth = 0
+    indptr, indices = csr.indptr, csr.indices
+    while frontier.size and (max_level is None or depth < max_level):
+        depth += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        nonzero = counts > 0
+        if not nonzero.any():
+            break
+        gather = _multi_arange(starts[nonzero], counts[nonzero])
+        neighbors = indices[gather]
+        fresh = neighbors[levels[neighbors] == sentinel]
+        if fresh.size == 0:
+            break
+        levels[fresh] = depth
+        frontier = np.flatnonzero(levels == depth)
+    return levels

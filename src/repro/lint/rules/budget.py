@@ -35,6 +35,12 @@ SSSP_ENTRY_POINTS = frozenset({
     "repair_levels",
     "levels_pair",
     "levels_pair_indexed",
+    # Δ-aware pruned traversals: a level-cut BFS still obtains the
+    # traversal's budgeted result (every level the output can depend on),
+    # so it charges exactly like the full traversal it replaces — the
+    # pruning layer must never become an uncharged side door.
+    "bounded_bfs_levels",
+    "csr_top_k_rows",
 })
 
 #: The engine package itself — the layer the entry points live in.
@@ -49,12 +55,21 @@ R004_GROUND_TRUTH_PATHS = frozenset({
 })
 
 
+#: Modules whose listed entry points count as SSSP work.  The CSR
+#: ground-truth engine (``repro.core.fastpairs``) is included because
+#: ``csr_top_k_rows`` runs O(n) traversals per call — importing it from
+#: an uncharged context would bypass the whole budget model.
+_ENTRY_POINT_MODULES = ("repro.graph", "repro.core.fastpairs")
+
+
 def _is_entry_point(ctx: FileContext, func: ast.AST) -> bool:
     resolved = ctx.imports.resolve_node(func)
     if resolved is None:
         return False
     module, _, name = resolved.rpartition(".")
-    return name in SSSP_ENTRY_POINTS and module.startswith("repro.graph")
+    return name in SSSP_ENTRY_POINTS and module.startswith(
+        _ENTRY_POINT_MODULES
+    )
 
 
 @rule(

@@ -169,6 +169,41 @@ class TestTopK:
         b = top_k_converging_pairs(g1, g2, k=10)
         assert [p.pair for p in a] == [p.pair for p in b]
 
+    def test_tie_break_order_pinned_across_engines_and_prune(self):
+        """Regression pin: the exact ordering of equal-Δ pairs.
+
+        Two disjoint path-plus-chord gadgets produce tied Δ groups
+        (Δ = 3 twice, Δ = 1 four times).  The ranking inside each group
+        is fixed by ``sort_key``'s ``(−Δ, repr(u), repr(v))`` — pinned
+        here literally so no engine (and in particular no pruned
+        engine, whose collection order differs) can silently reorder
+        ties at or below the k-th Δ.
+        """
+        from repro.graph.graph import Graph
+
+        g1, g2 = Graph(), Graph()
+        for base in (0, 100):
+            for i in range(4):
+                g1.add_edge(base + i, base + i + 1)
+                g2.add_edge(base + i, base + i + 1)
+            g2.add_edge(base, base + 4)
+        expected = [
+            (0, 4), (100, 104),            # Δ = 3, tied: "0" < "100"
+            (0, 3), (1, 4),                # Δ = 1, tied: repr order
+            (100, 103), (101, 104),
+        ]
+        for engine in ("incremental", "csr", "dict"):
+            for prune in (False, True):
+                if prune and engine == "dict":
+                    continue
+                for k in range(1, len(expected) + 1):
+                    top = top_k_converging_pairs(
+                        g1, g2, k=k, engine=engine, prune=prune
+                    )
+                    assert [p.pair for p in top] == expected[:k], (
+                        f"engine={engine} prune={prune} k={k}"
+                    )
+
     def test_matches_brute_force(self):
         g1, g2 = random_snapshot_pair(num_nodes=25, num_edges=60, seed=43)
         from repro.graph.apsp import all_pairs_distances

@@ -154,6 +154,35 @@ def test_r004_passes_charging_function_and_engine_module():
     assert engine == []
 
 
+def test_r004_guards_pruned_entry_points():
+    """The pruning layer must not become an uncharged SSSP side door."""
+    from repro.lint.rules.budget import SSSP_ENTRY_POINTS
+
+    # Registration pin: a new pruned entry point silently dropped from
+    # the allowlist would let pruned traversals dodge the budget audit.
+    assert {"bounded_bfs_levels", "csr_top_k_rows"} <= SSSP_ENTRY_POINTS
+
+    cut_bfs = lint("""
+        from repro.graph.prune import bounded_bfs_levels
+        def cheap_row(csr, i):
+            return bounded_bfs_levels(csr, i, 3)
+    """)
+    assert codes(cut_bfs) == ["R004"]
+    pruned_engine = lint("""
+        from repro.core.fastpairs import csr_top_k_rows
+        def shortcut(g1, g2):
+            return csr_top_k_rows(g1, g2, 10)
+    """)
+    assert codes(pruned_engine) == ["R004"]
+    charged = lint("""
+        from repro.graph.prune import bounded_bfs_levels
+        def charged_row(csr, i, budget):
+            budget.charge("topk", "g2", 1)
+            return bounded_bfs_levels(csr, i, 3)
+    """)
+    assert charged == []
+
+
 # ----------------------------------------------------------------------
 # R005 — mutable default arguments
 # ----------------------------------------------------------------------
