@@ -23,10 +23,12 @@ sys.path.insert(0, str(REPO_ROOT / "scripts"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import generate_api_docs  # noqa: E402  (path set up above)
+import generate_rule_docs  # noqa: E402
 
 #: ``committed file -> zero-argument generator returning its content``.
 TRACKED = {
     REPO_ROOT / "docs" / "api.md": generate_api_docs.generate,
+    REPO_ROOT / "docs" / "static-analysis.md": generate_rule_docs.generate,
 }
 
 

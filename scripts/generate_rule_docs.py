@@ -1,0 +1,64 @@
+"""Regenerate the rule table in docs/static-analysis.md from the registry.
+
+Only the section between the BEGIN/END markers is generated — the
+surrounding prose stays hand-written.  ``generate()`` returns the full
+file content with a fresh table spliced in, which is the contract
+``scripts/check_docs_drift.py`` expects: a rule added to the registry
+without regenerating the docs fails CI.
+
+Usage::
+
+    PYTHONPATH=src python scripts/generate_rule_docs.py          # stdout
+    PYTHONPATH=src python scripts/check_docs_drift.py --fix      # rewrite
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DOC_PATH = REPO_ROOT / "docs" / "static-analysis.md"
+
+BEGIN_MARKER = (
+    "<!-- BEGIN GENERATED RULE TABLE "
+    "(scripts/generate_rule_docs.py; edit the registry, not this table) -->"
+)
+END_MARKER = "<!-- END GENERATED RULE TABLE -->"
+
+
+def rule_table() -> str:
+    """The markdown table for every registered rule, sorted by code."""
+    from repro.lint.registry import all_rules
+
+    lines = [
+        "| code | name | scope | invariant protected |",
+        "|------|------|-------|---------------------|",
+    ]
+    for r in all_rules():
+        invariant = " ".join(r.invariant.split()).replace("|", "\\|")
+        lines.append(
+            f"| {r.code} | `{r.name}` | {r.scope} | {invariant} |"
+        )
+    return "\n".join(lines)
+
+
+def generate() -> str:
+    """docs/static-analysis.md content with a regenerated rule table."""
+    text = DOC_PATH.read_text(encoding="utf-8")
+    if BEGIN_MARKER not in text or END_MARKER not in text:
+        raise SystemExit(
+            f"{DOC_PATH}: rule-table markers missing; restore "
+            f"{BEGIN_MARKER!r} and {END_MARKER!r}"
+        )
+    before, _, rest = text.partition(BEGIN_MARKER)
+    _, _, after = rest.partition(END_MARKER)
+    return (
+        before + BEGIN_MARKER + "\n" + rule_table() + "\n" + END_MARKER + after
+    )
+
+
+if __name__ == "__main__":
+    sys.stdout.write(generate())

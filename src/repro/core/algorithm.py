@@ -387,12 +387,10 @@ def _score_candidates_csr(
                         int(raw1.max()) - theta if tracker is not None
                         else None
                     )
-                    # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged above
                     lv2 = repair_levels(delta, raw1, max_level=cut)[
                         align
                     ].astype(np.int64)
                 elif tracker is not None:
-                    # reprolint: disable=R004 -- the level-cut t2 row is this candidate's charged SSSP, bounded not skipped
                     lv2 = bounded_bfs_levels(
                         csr2, csr2.index[c], int(lv1.max()) - theta
                     )[align].astype(np.int64)

@@ -1,0 +1,71 @@
+"""Content-hash keyed cache of per-file analysis results.
+
+The per-file phase is pure: its output depends only on the file's
+source text, its lint-root-relative path, and the set of file-scope
+rules that ran.  Hashing those into the cache key means a hit can
+never be stale — any edit, rename, rule change, or engine change
+produces a new key.  Only phase-1 (file-scope) results are cached;
+the whole-program phase depends on every file at once and recomputes
+each run.
+
+Entries are one JSON file per key under the cache directory; unknown
+or corrupt entries read as misses, so the cache can be deleted (or
+populated by a different revision) at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.violation import Violation
+
+#: Bump to invalidate every cached entry when analysis semantics move.
+ENGINE_VERSION = "2"
+
+
+def cache_key(path: str, source: str, rule_codes: Sequence[str]) -> str:
+    """Stable key for one (file, rule set) analysis."""
+    hasher = hashlib.sha256()
+    payload = "\0".join(
+        [ENGINE_VERSION, path, ",".join(sorted(rule_codes)), source]
+    )
+    hasher.update(payload.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class AnalysisCache:
+    """Per-file violation lists keyed by content hash."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Violation]]:
+        """Cached pre-suppression violations, or ``None`` on a miss."""
+        entry = self._entry(key)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            violations = [Violation.from_json(item) for item in payload]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return violations
+
+    def put(self, key: str, violations: Sequence[Violation]) -> None:
+        """Store one file's pre-suppression violations."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = self._entry(key)
+        tmp = entry.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps([v.to_json() for v in violations], sort_keys=True),
+            encoding="utf-8",
+        )
+        tmp.replace(entry)

@@ -1,0 +1,180 @@
+"""Project-wide call graph over the :class:`ProjectContext` symbol table.
+
+Nodes are qualified function names; edges come in three kinds, all
+traversed by reachability:
+
+* ``call`` — a call expression resolved to a project definition;
+* ``ref`` — a function *referenced* (passed as a value, e.g. a
+  ``ParallelExecutor.map`` task or a callback) — the conservative
+  assumption is that a referenced function may be called;
+* ``defines`` — a function lexically defining a nested function (the
+  closure may be called by the definer or escape through it).
+
+Unresolvable calls (unknown receivers, external libraries) produce no
+edge; whole-program rules must treat absence of an edge as "unknown",
+never as proof of unreachability — which is why :class:`CallGraph`
+also records every call *site* with its resolution for rules that need
+the conservative view.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.project import FunctionInfo, ProjectContext, walk_no_nested
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression attributed to its enclosing function."""
+
+    #: Qualified name of the enclosing function (``None`` = module level).
+    caller: Optional[str]
+    #: Lint-root-relative path of the file holding the call.
+    path: str
+    #: The call node itself.
+    node: ast.Call = field(repr=False, compare=False)
+    #: Resolved callee, when resolution succeeded.
+    callee: Optional[FunctionInfo] = field(compare=False, default=None)
+
+
+class CallGraph:
+    """Edges + reachability over one project's functions."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self._edges: Dict[str, Set[str]] = {}
+        self._redges: Dict[str, Set[str]] = {}
+        #: Every call site, grouped by enclosing function qualname
+        #: (module-level sites under the pseudo-caller ``<module>:name``).
+        self.sites: List[CallSite] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _add_edge(self, src: str, dst: str) -> None:
+        self._edges.setdefault(src, set()).add(dst)
+        self._redges.setdefault(dst, set()).add(src)
+
+    def _build(self) -> None:
+        for info in self.project.iter_functions():
+            self._scan_unit(info.ctx, info.node, caller=info.qualname)
+        # Module-level code: attributed to a ``<module>:M`` pseudo-node.
+        for module in sorted(self.project.modules):
+            ctx = self.project.modules[module]
+            self._scan_unit(ctx, ctx.tree, caller=f"<module>:{module}")
+
+    def _scan_unit(
+        self, ctx: FileContext, root: ast.AST, caller: str
+    ) -> None:
+        # Mark the function-position expression chains so a call's own
+        # ``func`` Name/Attribute is not double-counted as a reference.
+        func_chain_ids: Set[int] = set()
+        calls: List[ast.Call] = []
+        for node in walk_no_nested(root):
+            if isinstance(node, ast.Call):
+                calls.append(node)
+                probe: ast.AST = node.func
+                while isinstance(probe, ast.Attribute):
+                    func_chain_ids.add(id(probe))
+                    probe = probe.value
+                func_chain_ids.add(id(probe))
+        for call in calls:
+            callee = self.project.resolve_call(ctx, call.func)
+            self.sites.append(
+                CallSite(caller=caller, path=ctx.path, node=call, callee=callee)
+            )
+            if callee is not None:
+                self._add_edge(caller, callee.qualname)
+        for node in walk_no_nested(root):
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            if id(node) in func_chain_ids:
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            target = self.project.resolve_call(ctx, node)
+            if target is not None:
+                self._add_edge(caller, target.qualname)
+        # A definer can invoke (or leak) its nested functions.
+        if not isinstance(root, ast.Module):
+            for child in ast.walk(root):
+                if child is root:
+                    continue
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = self.project.qualname_of(child)
+                    if qual is not None:
+                        self._add_edge(caller, qual)
+
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str) -> List[str]:
+        """Sorted direct successors of ``qualname``."""
+        return sorted(self._edges.get(qualname, ()))
+
+    def callers(self, qualname: str) -> List[str]:
+        """Sorted direct predecessors of ``qualname``."""
+        return sorted(self._redges.get(qualname, ()))
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every node reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        queue = deque(sorted(set(roots)))
+        seen.update(queue)
+        while queue:
+            current = queue.popleft()
+            for nxt in self.callees(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    def guarded_reachability(
+        self, roots: Iterable[str], guards: Set[str]
+    ) -> Dict[str, Optional[str]]:
+        """BFS parent map of paths from ``roots`` avoiding ``guards``.
+
+        A node appears in the result iff some path from a root reaches
+        it without passing through any guard node (the root itself
+        included).  Used by R010: guards are budget-charging functions,
+        so membership means "reachable from the public API with no
+        ledger charge anywhere on the way".
+        """
+        parent: Dict[str, Optional[str]] = {}
+        queue: deque = deque()
+        for root in sorted(set(roots)):
+            if root in guards or root in parent:
+                continue
+            parent[root] = None
+            queue.append(root)
+        while queue:
+            current = queue.popleft()
+            for nxt in self.callees(current):
+                if nxt in guards or nxt in parent:
+                    continue
+                parent[nxt] = current
+                queue.append(nxt)
+        return parent
+
+    @staticmethod
+    def path_to(
+        parent: Dict[str, Optional[str]], node: str
+    ) -> List[str]:
+        """Reconstruct the BFS path ending at ``node``."""
+        path: List[str] = []
+        current: Optional[str] = node
+        while current is not None:
+            path.append(current)
+            current = parent.get(current)
+        return list(reversed(path))
+
+    # ------------------------------------------------------------------
+    def sites_in(self, path: str) -> Iterator[CallSite]:
+        """Call sites located in one file, in source order."""
+        for site in sorted(
+            (s for s in self.sites if s.path == path),
+            key=lambda s: (s.node.lineno, s.node.col_offset),
+        ):
+            yield site

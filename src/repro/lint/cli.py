@@ -8,17 +8,23 @@ from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence, Set
 
 from repro.lint.baseline import Baseline
-from repro.lint.registry import all_rules
+from repro.lint.cache import AnalysisCache
+from repro.lint.registry import all_rules, get_rule, select_rules
 from repro.lint.report import render_json, render_text
 from repro.lint.runner import lint_paths
+from repro.lint.sarif import render_sarif
 
 #: Default baseline location, relative to the repository root.
 DEFAULT_BASELINE = ".reprolint-baseline.json"
+
+#: Default per-file analysis cache directory (opt-in via --cache-dir).
+DEFAULT_CACHE_DIR = ".reprolint-cache"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -29,8 +35,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--strict", action="store_true",
-        help="also fail on stale baseline entries and suppressions "
-             "without a justification",
+        help="also fail on stale baseline entries, stale suppressions, "
+             "and suppressions without a justification",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -52,6 +58,29 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="RXXX",
+        help="print one rule's full documentation and exit",
+    )
+    parser.add_argument(
+        "--sarif", type=Path, default=None, metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 document to PATH",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in files changed since --diff-base "
+             "(the whole program is still analyzed)",
+    )
+    parser.add_argument(
+        "--diff-base", default="HEAD", metavar="REF",
+        help="git ref --changed diffs against (default: HEAD)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        nargs="?", const=Path(DEFAULT_CACHE_DIR),
+        help=f"reuse per-file analysis results cached under DIR "
+             f"(default when given bare: {DEFAULT_CACHE_DIR})",
+    )
 
 
 def _default_paths() -> List[Path]:
@@ -63,6 +92,53 @@ def _print_rules() -> None:
     for r in all_rules():
         print(f"{r.code}  {r.name}: {r.summary}")
         print(f"      invariant: {r.invariant}")
+
+
+def _print_explanation(code: str) -> int:
+    try:
+        r = get_rule(code)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"{r.code} — {r.name} [{r.scope}-scope]")
+    print(f"  summary:   {r.summary}")
+    print(f"  invariant: {r.invariant}")
+    print(f"  suppress:  # reprolint: disable={r.code} -- <justification>")
+    return 0
+
+
+def _git_lines(args: Sequence[str]) -> List[str]:
+    completed = subprocess.run(
+        ["git", *args], capture_output=True, text=True, check=True
+    )
+    return [line for line in completed.stdout.splitlines() if line]
+
+
+def _changed_relpaths(
+    roots: Sequence[Path], diff_base: str
+) -> Set[str]:
+    """Lint-root-relative paths of files changed vs ``diff_base``.
+
+    Tracked changes come from ``git diff --name-only``; untracked new
+    files from ``git ls-files --others``.  Paths outside every lint
+    root are dropped — they cannot appear in the report anyway.
+    """
+    repo_paths = set(_git_lines(["diff", "--name-only", diff_base, "--"]))
+    repo_paths.update(
+        _git_lines(["ls-files", "--others", "--exclude-standard"])
+    )
+    changed: Set[str] = set()
+    for repo_path in repo_paths:
+        if not repo_path.endswith(".py"):
+            continue
+        resolved = Path(repo_path).resolve()
+        for root in roots:
+            base = root if root.is_dir() else root.parent
+            try:
+                changed.add(resolved.relative_to(base.resolve()).as_posix())
+            except ValueError:
+                continue
+    return changed
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -80,6 +156,8 @@ def _run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_rules()
         return 0
+    if args.explain:
+        return _print_explanation(args.explain)
     select = None
     if args.select:
         select = [code.strip() for code in args.select.split(",") if code.strip()]
@@ -100,8 +178,25 @@ def _run_lint(args: argparse.Namespace) -> int:
     except (ValueError, OSError) as exc:
         print(f"error: cannot read baseline: {exc}", file=sys.stderr)
         return 2
+    changed: Optional[Set[str]] = None
+    if args.changed:
+        try:
+            changed = _changed_relpaths(paths, args.diff_base)
+        except (subprocess.CalledProcessError, OSError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            print(
+                f"error: --changed needs git: {detail.strip()}",
+                file=sys.stderr,
+            )
+            return 2
+    cache = (
+        AnalysisCache(args.cache_dir) if args.cache_dir is not None else None
+    )
     try:
-        result = lint_paths(paths, baseline=baseline, select=select)
+        result = lint_paths(
+            paths, baseline=baseline, select=select, cache=cache,
+            changed=changed,
+        )
     except KeyError as exc:
         # select_rules' message lists the known codes.
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -112,6 +207,13 @@ def _run_lint(args: argparse.Namespace) -> int:
         Baseline.from_violations(result.violations).save(target)
         print(f"wrote {len(result.violations)} entr(y/ies) to {target}")
         return 0
+
+    if args.sarif is not None:
+        rules = select_rules(select) if select else all_rules()
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(
+            render_sarif(result.new_violations, rules), encoding="utf-8"
+        )
 
     render = render_json if args.output_format == "json" else render_text
     print(render(result, strict=args.strict))

@@ -1,0 +1,418 @@
+"""Phase 2 of the whole-program analyzer: interprocedural taint.
+
+The engine is policy-driven: a rule supplies a :class:`TaintPolicy`
+naming its *sources* (expressions that introduce taint), *sanitizers*
+(calls that kill it), and *exempt names*; the engine computes which
+local names and expressions carry taint inside each function, plus
+per-function summaries (``returns_tainted`` / ``propagates`` /
+``mutates``) so taint crosses call boundaries without inlining.
+
+Summaries are computed to a bounded fixpoint in sorted-qualname order,
+so results are byte-deterministic regardless of file discovery order.
+All propagation is deliberately coarse-but-conservative in one
+direction only: a call that cannot be resolved propagates *nothing*
+(rules opt specific known functions back in via
+:meth:`TaintPolicy.call_propagates`), and taint never flows through
+``yield`` (a generator's consumer owns the yielded values).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.project import FunctionInfo, ProjectContext, walk_no_nested
+
+#: numpy methods that mutate their receiver in place.
+INPLACE_METHODS = frozenset(
+    {"fill", "itemset", "partition", "put", "resize", "setfield", "sort"}
+)
+
+#: Fixpoint bound for interprocedural summaries (call-chain depth).
+_MAX_ROUNDS = 8
+
+
+class TaintPolicy:
+    """Pluggable predicates; the base policy taints nothing."""
+
+    def call_is_source(
+        self, ctx: FileContext, project: ProjectContext, call: ast.Call
+    ) -> bool:
+        """Does this call expression introduce taint?"""
+        return False
+
+    def expr_is_source(
+        self, ctx: FileContext, project: ProjectContext, node: ast.AST
+    ) -> bool:
+        """Does this non-call expression introduce taint?"""
+        return False
+
+    def call_is_sanitizer(
+        self, ctx: FileContext, project: ProjectContext, call: ast.Call
+    ) -> bool:
+        """Does wrapping a value in this call kill its taint?"""
+        return False
+
+    def call_propagates(
+        self, ctx: FileContext, project: ProjectContext, call: ast.Call
+    ) -> bool:
+        """Should an *unresolved* call pass taint from args to result?"""
+        return False
+
+    def name_is_exempt(self, name: str) -> bool:
+        """Names that never carry taint (e.g. known scalars)."""
+        return False
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Interprocedural behaviour of one function under a policy."""
+
+    #: The return value is tainted regardless of arguments.
+    returns_tainted: bool = False
+    #: Tainted arguments make the return value tainted.
+    propagates: bool = False
+    #: Parameter names the function writes through in place.
+    mutates: FrozenSet[str] = frozenset()
+
+
+def param_names(node: ast.AST) -> List[str]:
+    """Positional/keyword/star parameter names of a def node, in order."""
+    args = getattr(node, "args", None)
+    if args is None:
+        return []
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def root_name(expr: ast.AST) -> Optional[str]:
+    """Peel attribute/subscript chains down to the base ``Name`` id."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def iter_writes(root: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+    """In-place write events inside ``root`` (nested defs excluded).
+
+    Yields ``(node, base_expr)`` pairs where ``base_expr`` is the
+    object written through: ``x[i] = v`` / ``x[i] += v`` yield the
+    subscripted value, ``x += v`` the name itself, ``x.sort()`` the
+    receiver, ``f(..., out=x)`` and ``np.copyto(x, ...)`` the
+    destination argument.
+    """
+    for node in walk_no_nested(root):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    yield node, target.value
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Subscript):
+                yield node, node.target.value
+            elif isinstance(node.target, ast.Name):
+                yield node, node.target
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in INPLACE_METHODS:
+                yield node, func.value
+            name = dotted_name(func)
+            if name is not None and name.split(".")[-1] == "copyto" and node.args:
+                yield node, node.args[0]
+            for kw in node.keywords:
+                if kw.arg == "out":
+                    yield node, kw.value
+
+
+def _sorted_nodes(nodes: Sequence[ast.AST]) -> List[ast.AST]:
+    return sorted(
+        nodes,
+        key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+    )
+
+
+class FunctionTaint:
+    """Intra-function taint state for one analysis unit.
+
+    ``root`` may be a def node or a whole module; ``initial`` seeds the
+    tainted-name set (used by the summary computation to model "all
+    parameters tainted").
+    """
+
+    def __init__(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        root: ast.AST,
+        policy: TaintPolicy,
+        summaries: Optional[Dict[str, Summary]] = None,
+        initial: Optional[Set[str]] = None,
+    ) -> None:
+        self.project = project
+        self.ctx = ctx
+        self.root = root
+        self.policy = policy
+        self.summaries = summaries if summaries is not None else {}
+        self.tainted: Set[str] = set(initial or ())
+        self._run()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        bindings = [
+            node
+            for node in walk_no_nested(self.root)
+            if isinstance(
+                node,
+                (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.For,
+                 ast.NamedExpr, ast.withitem, ast.comprehension),
+            )
+        ]
+        ordered = _sorted_nodes(bindings)
+        # Two passes pick up loop-carried taint without a full fixpoint.
+        for _ in range(2):
+            before = set(self.tainted)
+            for node in ordered:
+                self._transfer(node)
+            if self.tainted == before:
+                break
+
+    def _taint_target(self, target: ast.AST, value_tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if self.policy.name_is_exempt(target.id):
+                return
+            if value_tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                inner = element.value if isinstance(element, ast.Starred) else element
+                self._taint_target(inner, value_tainted)
+        # Attribute/Subscript targets are write events, not rebinds.
+
+    def _transfer(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            value_tainted = self.expr_tainted(node.value)
+            for target in node.targets:
+                self._taint_target(target, value_tainted)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._taint_target(node.target, self.expr_tainted(node.value))
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                already = node.target.id in self.tainted
+                self._taint_target(
+                    node.target, already or self.expr_tainted(node.value)
+                )
+        elif isinstance(node, ast.NamedExpr):
+            self._taint_target(node.target, self.expr_tainted(node.value))
+        elif isinstance(node, ast.For):
+            if self.expr_tainted(node.iter):
+                self._taint_target(node.target, True)
+        elif isinstance(node, ast.comprehension):
+            if self.expr_tainted(node.iter):
+                self._taint_target(node.target, True)
+        elif isinstance(node, ast.withitem):
+            if node.optional_vars is not None:
+                self._taint_target(
+                    node.optional_vars, self.expr_tainted(node.context_expr)
+                )
+
+    # ------------------------------------------------------------------
+    def expr_tainted(self, expr: Optional[ast.AST]) -> bool:
+        """Is the value of ``expr`` tainted in the current state?"""
+        if expr is None:
+            return False
+        if self.policy.expr_is_source(self.ctx, self.project, expr):
+            return True
+        if isinstance(expr, ast.Call):
+            return self._call_tainted(expr)
+        if isinstance(expr, ast.Name):
+            return expr.id in self.tainted
+        if isinstance(expr, ast.Attribute):
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.Subscript):
+            # Slicing an array keeps the (view) taint; a scalar pulled
+            # out by plain indexing does not.
+            if isinstance(expr.slice, ast.Slice):
+                return self.expr_tainted(expr.value)
+            return False
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.expr_tainted(e) for e in expr.elts)
+        if isinstance(expr, ast.Starred):
+            return self.expr_tainted(expr.value)
+        if isinstance(expr, ast.BinOp):
+            return self.expr_tainted(expr.left) or self.expr_tainted(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.expr_tainted(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            return any(self.expr_tainted(v) for v in expr.values)
+        if isinstance(expr, ast.IfExp):
+            return self.expr_tainted(expr.body) or self.expr_tainted(expr.orelse)
+        if isinstance(expr, ast.JoinedStr):
+            return any(self.expr_tainted(v) for v in expr.values)
+        if isinstance(expr, ast.FormattedValue):
+            return self.expr_tainted(expr.value)
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return any(self.expr_tainted(gen.iter) for gen in expr.generators)
+        if isinstance(expr, ast.Dict):
+            return any(
+                self.expr_tainted(v)
+                for v in (*expr.keys, *expr.values)
+                if v is not None
+            )
+        return False
+
+    def _call_tainted(self, call: ast.Call) -> bool:
+        if self.policy.call_is_sanitizer(self.ctx, self.project, call):
+            return False
+        if self.policy.call_is_source(self.ctx, self.project, call):
+            return True
+        args_tainted = any(self.expr_tainted(a) for a in call.args) or any(
+            self.expr_tainted(kw.value) for kw in call.keywords
+        )
+        callee = self.project.resolve_call(self.ctx, call.func)
+        if callee is not None:
+            summary = self.summaries.get(callee.qualname)
+            if summary is not None:
+                if summary.returns_tainted:
+                    return True
+                if summary.propagates and args_tainted:
+                    return True
+            return False
+        # Method call on a tainted receiver: the result stays tainted
+        # unless the policy sanctioned it as a sanitizer above.
+        if isinstance(call.func, ast.Attribute) and self.expr_tainted(
+            call.func.value
+        ):
+            return True
+        if args_tainted and self.policy.call_propagates(
+            self.ctx, self.project, call
+        ):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def returns_tainted(self) -> bool:
+        """Does any ``return`` statement carry taint?"""
+        return any(
+            isinstance(node, ast.Return) and self.expr_tainted(node.value)
+            for node in walk_no_nested(self.root)
+        )
+
+
+class ProjectTaint:
+    """Interprocedural summaries for every function, to a fixpoint."""
+
+    def __init__(self, project: ProjectContext, policy: TaintPolicy) -> None:
+        self.project = project
+        self.policy = policy
+        self.summaries: Dict[str, Summary] = {}
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for info in project.iter_functions():
+                summary = self._summarize(info)
+                if self.summaries.get(info.qualname) != summary:
+                    self.summaries[info.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    def _summarize(self, info: FunctionInfo) -> Summary:
+        params = param_names(info.node)
+        bare = FunctionTaint(
+            self.project, info.ctx, info.node, self.policy, self.summaries
+        )
+        returns_tainted = bare.returns_tainted()
+        seeded = FunctionTaint(
+            self.project,
+            info.ctx,
+            info.node,
+            self.policy,
+            self.summaries,
+            initial=set(params),
+        )
+        propagates = seeded.returns_tainted() and not returns_tainted
+        mutates: Set[str] = set()
+        wanted = set(params)
+        for _node, base in iter_writes(info.node):
+            name = root_name(base)
+            if name in wanted:
+                mutates.add(name)
+        # A parameter handed straight to a mutating callee is mutated too.
+        for node in walk_no_nested(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self.project.resolve_call(info.ctx, node.func)
+            if callee is None:
+                continue
+            summary = self.summaries.get(callee.qualname)
+            if summary is None or not summary.mutates:
+                continue
+            for param, arg in match_arguments(node, callee).items():
+                if param in summary.mutates and isinstance(arg, ast.Name):
+                    if arg.id in wanted:
+                        mutates.add(arg.id)
+        return Summary(
+            returns_tainted=returns_tainted,
+            propagates=propagates,
+            mutates=frozenset(mutates),
+        )
+
+    # ------------------------------------------------------------------
+    def analyze(self, info: FunctionInfo) -> FunctionTaint:
+        """Final intra-function taint for one definition."""
+        return FunctionTaint(
+            self.project, info.ctx, info.node, self.policy, self.summaries
+        )
+
+    def analyze_module(self, module: str) -> Optional[FunctionTaint]:
+        """Taint over one module's top-level statements."""
+        ctx = self.project.modules.get(module)
+        if ctx is None:
+            return None
+        return FunctionTaint(
+            self.project, ctx, ctx.tree, self.policy, self.summaries
+        )
+
+
+def match_arguments(
+    call: ast.Call, callee: FunctionInfo
+) -> Dict[str, ast.AST]:
+    """Map callee parameter names to the argument expressions at a site.
+
+    Positional args line up against the callee's positional parameters
+    (skipping ``self``/``cls`` for methods); keywords match by name.
+    ``*args``/``**kwargs`` at the call site are ignored — unknown
+    bindings must not invent edges.
+    """
+    args = getattr(callee.node, "args", None)
+    if args is None:
+        return {}
+    positional = [a.arg for a in (*args.posonlyargs, *args.args)]
+    if callee.class_name is not None and positional and positional[0] in (
+        "self",
+        "cls",
+    ):
+        positional = positional[1:]
+    mapping: Dict[str, ast.AST] = {}
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(positional):
+            mapping[positional[index]] = arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            mapping[kw.arg] = kw.value
+    return mapping

@@ -1,0 +1,287 @@
+"""Phase 1 of the whole-program analyzer: the project symbol table.
+
+A :class:`ProjectContext` aggregates every parsed file of one lint run
+into a project-wide view: module names derived from lint-root-relative
+paths, a symbol table of every function/method definition keyed by
+qualified name (``repro.graph.csr.bfs_levels``,
+``repro.graph.csr.CSRGraph.from_graph``), and a re-export alias map so
+``from repro.graph import bfs_levels`` resolves to the defining module
+no matter how many ``__init__`` hops the import takes.
+
+Name resolution is deliberately conservative: a call that cannot be
+pinned to exactly one project definition resolves to ``None`` (an
+"unknown" edge) rather than a guess — whole-program rules must stay
+sound on partial information.  Method calls resolve by class when the
+receiver is ``self``/``cls`` or an import-resolved class, and by
+*unambiguous name* otherwise (a method name defined by exactly one
+project class).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.context import FileContext, dotted_name
+
+#: Upper bound on re-export alias hops (cycle guard).
+_MAX_ALIAS_HOPS = 16
+
+
+def module_name(path: str) -> str:
+    """Dotted module name of a lint-root-relative posix path.
+
+    ``repro/core/pairs.py`` -> ``repro.core.pairs``;
+    ``repro/graph/__init__.py`` -> ``repro.graph``.
+    """
+    trimmed = path[:-3] if path.endswith(".py") else path
+    parts = [p for p in trimmed.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<root>"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    #: Fully qualified name (``module.fn`` / ``module.Class.fn`` /
+    #: ``module.outer.inner`` for nested defs).
+    qualname: str
+    #: Dotted module the definition lives in.
+    module: str
+    #: Lint-root-relative path of the defining file.
+    path: str
+    #: Bare definition name.
+    name: str
+    #: Name of the immediately enclosing class, if this is a method.
+    class_name: Optional[str]
+    #: The definition node itself.
+    node: ast.AST = field(repr=False, compare=False)
+    #: The file the definition was parsed from.
+    ctx: FileContext = field(repr=False, compare=False)
+
+
+class ProjectContext:
+    """Everything the whole-program phase may inspect about a lint run."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        #: path -> FileContext, in sorted path order.
+        self.files: Dict[str, FileContext] = {
+            ctx.path: ctx for ctx in sorted(contexts, key=lambda c: c.path)
+        }
+        #: module -> FileContext.
+        self.modules: Dict[str, FileContext] = {}
+        #: qualified name -> FunctionInfo.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: qualified class name -> ClassDef.
+        self.classes: Dict[str, ast.ClassDef] = {}
+        #: bare method name -> sorted qualified names defining it.
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: dotted import binding -> its target (``repro.graph.bfs_levels``
+        #: -> ``repro.graph.csr.bfs_levels``), from every ImportFrom.
+        self.aliases: Dict[str, str] = {}
+        #: id(def node) -> qualified name, for call-site attribution.
+        self._qualname_of_node: Dict[int, str] = {}
+        #: Call/Name nodes at module level (outside any def), per module.
+        self.module_level_nodes: Dict[str, List[ast.AST]] = {}
+        for path in sorted(self.files):
+            self._collect(self.files[path])
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _collect(self, ctx: FileContext) -> None:
+        module = module_name(ctx.path)
+        # First lint root wins on module-name collisions (sorted order
+        # keeps the outcome deterministic).
+        if module in self.modules:
+            return
+        self.modules[module] = ctx
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases.setdefault(
+                        f"{module}.{local}", f"{node.module}.{alias.name}"
+                    )
+        self._collect_defs(ctx, ctx.tree, module, prefix=module, class_name=None)
+
+    def _collect_defs(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        module: str,
+        prefix: str,
+        class_name: Optional[str],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{child.name}"
+                if qual not in self.functions:
+                    self.functions[qual] = FunctionInfo(
+                        qualname=qual,
+                        module=module,
+                        path=ctx.path,
+                        name=child.name,
+                        class_name=class_name,
+                        node=child,
+                        ctx=ctx,
+                    )
+                    self._qualname_of_node[id(child)] = qual
+                    if class_name is not None:
+                        self.methods_by_name.setdefault(child.name, []).append(qual)
+                self._collect_defs(ctx, child, module, prefix=qual, class_name=None)
+            elif isinstance(child, ast.ClassDef):
+                qual = f"{prefix}.{child.name}"
+                self.classes.setdefault(qual, child)
+                self._collect_defs(
+                    ctx, child, module, prefix=qual, class_name=child.name
+                )
+            else:
+                self._collect_defs(ctx, child, module, prefix=prefix,
+                                   class_name=class_name)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def canonical(self, dotted: str) -> str:
+        """Follow re-export aliases to the defining dotted path."""
+        seen = 0
+        while seen < _MAX_ALIAS_HOPS:
+            seen += 1
+            if dotted in self.aliases:
+                dotted = self.aliases[dotted]
+                continue
+            # Longest aliased prefix: ``repro.graph.CSRGraph.from_graph``
+            # rewrites its ``repro.graph.CSRGraph`` head.
+            parts = dotted.split(".")
+            for cut in range(len(parts) - 1, 0, -1):
+                head = ".".join(parts[:cut])
+                if head in self.aliases:
+                    dotted = ".".join([self.aliases[head], *parts[cut:]])
+                    break
+            else:
+                return dotted
+        return dotted
+
+    def resolve_qualified(self, dotted: Optional[str]) -> Optional[FunctionInfo]:
+        """The project definition a canonical dotted path names, if any."""
+        if not dotted:
+            return None
+        return self.functions.get(self.canonical(dotted))
+
+    def qualname_of(self, node: ast.AST) -> Optional[str]:
+        """Qualified name of a definition node collected by this project."""
+        return self._qualname_of_node.get(id(node))
+
+    def enclosing_qualname(self, ctx: FileContext, node: ast.AST) -> Optional[str]:
+        """Qualified name of the innermost function containing ``node``."""
+        chain = ctx.enclosing_functions(node)
+        if not chain:
+            return None
+        return self.qualname_of(chain[0])
+
+    def _enclosing_class(self, ctx: FileContext, node: ast.AST) -> Optional[str]:
+        current = getattr(node, "parent", None)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current.name
+            current = getattr(current, "parent", None)
+        return None
+
+    def resolve_call(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Optional[FunctionInfo]:
+        """The project function a call expression targets, or ``None``.
+
+        ``None`` means *unknown or external* — never "definitely absent";
+        rules treating an edge as load-bearing must stay conservative.
+        """
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        module = module_name(ctx.path)
+        # Imported name (handles re-export hops through __init__).
+        resolved = ctx.imports.resolve(dotted)
+        if resolved is not None:
+            return self.resolve_qualified(resolved)
+        head, _, rest = dotted.partition(".")
+        # self.m() / cls.m() inside a class body.
+        if head in ("self", "cls") and rest and "." not in rest:
+            class_name = self._enclosing_class(ctx, func)
+            if class_name is not None:
+                info = self.functions.get(f"{module}.{class_name}.{rest}")
+                if info is not None:
+                    return info
+            return self._unambiguous_method(rest)
+        # Local definition: nested scope first, then module level, then
+        # a locally defined class's method (C.m()).
+        if not rest:
+            scope = self.enclosing_qualname(ctx, func)
+            while scope:
+                info = self.functions.get(f"{scope}.{head}")
+                if info is not None:
+                    return info
+                scope = scope.rpartition(".")[0]
+                if scope in self.modules or scope == module:
+                    break
+            return self.functions.get(f"{module}.{head}")
+        info = self.functions.get(f"{module}.{dotted}")
+        if info is not None:
+            return info
+        # obj.m(): resolve by method name when project-unambiguous.
+        if "." not in rest:
+            return self._unambiguous_method(rest)
+        return None
+
+    def _unambiguous_method(self, name: str) -> Optional[FunctionInfo]:
+        quals = self.methods_by_name.get(name, ())
+        if len(quals) == 1:
+            return self.functions[quals[0]]
+        return None
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every collected definition, in sorted qualname order."""
+        for qual in sorted(self.functions):
+            yield self.functions[qual]
+
+    def functions_in_module(self, module: str) -> List[FunctionInfo]:
+        """Definitions whose ``module`` matches, sorted by qualname."""
+        return [
+            info for info in self.iter_functions() if info.module == module
+        ]
+
+    def definitions_named(self, names: Sequence[str]) -> List[FunctionInfo]:
+        """Definitions whose bare name is in ``names``, sorted."""
+        wanted = frozenset(names)
+        return [info for info in self.iter_functions() if info.name in wanted]
+
+
+def walk_no_nested(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` over ``node``'s body, skipping nested definitions.
+
+    The definition node's own decorators/defaults are included; inner
+    ``def``/``class`` subtrees are not — they are separate analysis
+    units with their own qualified names.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def module_level_statements(tree: ast.Module) -> Iterator[ast.AST]:
+    """Module-level nodes outside any function/class definition."""
+    yield from walk_no_nested(tree)

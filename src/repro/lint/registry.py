@@ -14,7 +14,11 @@ from typing import Callable, Dict, Iterator, List, Sequence
 from repro.lint.context import FileContext
 from repro.lint.violation import Violation
 
+#: File-scope checker: one parsed file in, violations out.
 Checker = Callable[[FileContext], Iterator[Violation]]
+#: Project-scope checker: receives ``(ProjectContext, CallGraph)`` —
+#: typed loosely here to keep the registry import-light.
+ProjectChecker = Callable[..., Iterator[Violation]]
 
 
 @dataclass(frozen=True)
@@ -27,24 +31,46 @@ class Rule:
     #: The determinism/budget contract this rule mechanically enforces.
     invariant: str
     check: Checker
+    #: ``"file"`` rules see one file; ``"project"`` rules see the whole
+    #: program (symbol table + call graph) and run in phase 2.
+    scope: str = "file"
 
 
 _RULES: Dict[str, Rule] = {}
 
 
 def rule(code: str, name: str, summary: str, invariant: str) -> Callable[[Checker], Checker]:
-    """Register ``check`` under ``code`` (e.g. ``R001``)."""
+    """Register a file-scope ``check`` under ``code`` (e.g. ``R001``)."""
 
     def decorator(check: Checker) -> Checker:
-        if code in _RULES:
-            raise ValueError(f"duplicate rule code {code!r}")
-        _RULES[code] = Rule(
-            code=code, name=name, summary=summary, invariant=invariant,
-            check=check,
-        )
+        _register(code, name, summary, invariant, check, scope="file")
         return check
 
     return decorator
+
+
+def project_rule(
+    code: str, name: str, summary: str, invariant: str
+) -> Callable[[ProjectChecker], ProjectChecker]:
+    """Register a whole-program ``check(project, graph)`` under ``code``."""
+
+    def decorator(check: ProjectChecker) -> ProjectChecker:
+        _register(code, name, summary, invariant, check, scope="project")
+        return check
+
+    return decorator
+
+
+def _register(
+    code: str, name: str, summary: str, invariant: str, check: Checker,
+    scope: str,
+) -> None:
+    if code in _RULES:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _RULES[code] = Rule(
+        code=code, name=name, summary=summary, invariant=invariant,
+        check=check, scope=scope,
+    )
 
 
 def all_rules() -> List[Rule]:

@@ -27,6 +27,12 @@ def render_text(result: LintResult, strict: bool = False) -> str:
                 f"{path}: stale baseline entry {code} ({line_text!r}); "
                 f"regenerate with --write-baseline"
             )
+        for path, sup, code in result.stale_suppressions:
+            lines.append(
+                f"{path}:{sup.comment_line}:0 R000 stale suppression: "
+                f"{code} no longer fires on line {sup.target_line}; "
+                f"delete the waiver"
+            )
     summary = (
         f"{result.files} file(s): {len(result.new_violations)} new "
         f"violation(s), {baselined} baselined"
@@ -35,6 +41,7 @@ def render_text(result: LintResult, strict: bool = False) -> str:
         summary += (
             f", {len(result.stale_baseline)} stale baseline entr(y/ies), "
             f"{len(result.unjustified_suppressions)} unjustified "
+            f"suppression(s), {len(result.stale_suppressions)} stale "
             f"suppression(s)"
         )
     lines.append(summary)
@@ -59,6 +66,15 @@ def render_json(result: LintResult, strict: bool = False) -> str:
         "unjustified_suppressions": [
             {"path": path, "line": sup.comment_line, "codes": list(sup.codes)}
             for path, sup in result.unjustified_suppressions
+        ],
+        "stale_suppressions": [
+            {
+                "path": path,
+                "line": sup.comment_line,
+                "code": code,
+                "target_line": sup.target_line,
+            }
+            for path, sup, code in result.stale_suppressions
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

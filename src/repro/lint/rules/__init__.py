@@ -5,8 +5,12 @@ Add a new rule by dropping a module here that uses
 """
 
 from repro.lint.rules import budget  # noqa: F401
+from repro.lint.rules import budget_flow  # noqa: F401
+from repro.lint.rules import capture  # noqa: F401
 from repro.lint.rules import contracts  # noqa: F401
 from repro.lint.rules import determinism  # noqa: F401
+from repro.lint.rules import determinism_flow  # noqa: F401
+from repro.lint.rules import frozen  # noqa: F401
 from repro.lint.rules import imports  # noqa: F401
 from repro.lint.rules import safety  # noqa: F401
 from repro.lint.rules import typing_gate  # noqa: F401

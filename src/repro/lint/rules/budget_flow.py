@@ -1,0 +1,160 @@
+"""R010: whole-program budget soundness.
+
+R004 checks one file at a time and therefore needs a hand-maintained
+module list (``_ENTRY_POINT_MODULES``) to know which imports mean "an
+SSSP happens here" — a list that had to be widened by hand twice
+already.  R010 replaces the hand list with computed reachability over
+the project call graph: the *defining* modules of the SSSP entry
+points (and the packages that re-export them) fall out of the symbol
+table, and a traversal call is a finding exactly when some call chain
+from the public API (``repro.core.pairs``, ``repro.core.algorithm``,
+the CLI) reaches it without passing through a budget-charging function
+on the way.  R004 stays registered as the fast intra-file fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.context import FileContext
+from repro.lint.project import ProjectContext
+from repro.lint.registry import project_rule
+from repro.lint.rules.budget import (
+    R004_GROUND_TRUTH_PATHS,
+    SSSP_ENTRY_POINTS,
+    _ENGINE_PREFIX,
+)
+from repro.lint.violation import Violation
+
+#: The public API surface: modules whose public functions (and import-
+#: time statements) are the roots every uncharged path is traced from.
+ROOT_MODULES = ("repro.core.pairs", "repro.core.algorithm", "repro.cli")
+
+
+def computed_entry_point_modules(project: ProjectContext) -> List[str]:
+    """Modules that define or re-export an SSSP entry point.
+
+    This is the computed replacement for R004's hand-listed
+    ``_ENTRY_POINT_MODULES``: defining modules come from the symbol
+    table, re-exporting packages from the alias map — no hand upkeep
+    when a traversal moves or a new engine module appears.
+    """
+    modules: Set[str] = set()
+    for info in project.definitions_named(sorted(SSSP_ENTRY_POINTS)):
+        if info.class_name is None:
+            modules.add(info.module)
+    for binding in sorted(project.aliases):
+        module, _, name = binding.rpartition(".")
+        if name in SSSP_ENTRY_POINTS and module:
+            target = project.canonical(binding)
+            target_module = target.rpartition(".")[0]
+            if target_module in modules or target_module not in project.modules:
+                modules.add(module)
+    return sorted(modules)
+
+
+def charging_functions(project: ProjectContext) -> Set[str]:
+    """Qualnames of functions that call ``<ledger>.charge(...)``."""
+    guards: Set[str] = set()
+    for info in project.iter_functions():
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "charge"
+            ):
+                guards.add(info.qualname)
+                break
+    return guards
+
+
+def entry_point_roots(project: ProjectContext) -> List[str]:
+    """Public functions + import-time code of the root modules."""
+    roots: List[str] = []
+    for module in ROOT_MODULES:
+        if module not in project.modules:
+            continue
+        roots.append(f"<module>:{module}")
+        for info in project.functions_in_module(module):
+            top_level = info.qualname == f"{module}.{info.name}"
+            if top_level and not info.name.startswith("_"):
+                roots.append(info.qualname)
+            # Public methods of public classes count too (CLI command
+            # classes); nested helpers stay reachable via the graph.
+            if info.class_name is not None and not info.name.startswith("_"):
+                roots.append(info.qualname)
+    return sorted(set(roots))
+
+
+def _entry_point_call(
+    project: ProjectContext, ctx: FileContext, call: ast.Call
+) -> Optional[str]:
+    """The SSSP entry-point name this call invokes, if any."""
+    callee = project.resolve_call(ctx, call.func)
+    if callee is not None:
+        if callee.name in SSSP_ENTRY_POINTS and callee.class_name is None:
+            return callee.name
+        return None
+    resolved = ctx.imports.resolve_node(call.func)
+    if resolved is None:
+        return None
+    module, _, name = resolved.rpartition(".")
+    if name not in SSSP_ENTRY_POINTS:
+        return None
+    # The import names an entry point.  Trust it when the canonical
+    # target lands outside the analyzed project (we cannot see inside
+    # the module, so conservatively assume the traversal is real); a
+    # project-internal target would have resolved to a definition above.
+    canonical_module = project.canonical(resolved).rpartition(".")[0]
+    if canonical_module not in project.modules:
+        return name
+    return None
+
+
+@project_rule(
+    "R010",
+    "uncharged-reachable-sssp",
+    summary="call path from the public API reaches an SSSP with no "
+            "budget charge on the way",
+    invariant="Every traversal transitively reachable from the public "
+              "API (repro.core.pairs, repro.core.algorithm, the CLI) "
+              "flows through SPBudget.charge on all paths; the entry-"
+              "point set is computed from the call graph, not "
+              "hand-listed (docs/budget-model.md).",
+)
+def check_budget_soundness(
+    project: ProjectContext, graph: CallGraph
+) -> Iterator[Violation]:
+    guards = charging_functions(project)
+    uncharged = graph.guarded_reachability(entry_point_roots(project), guards)
+    for site in graph.sites:
+        ctx = project.files.get(site.path)
+        if ctx is None:
+            continue
+        if site.path.startswith(_ENGINE_PREFIX) or site.path in (
+            R004_GROUND_TRUTH_PATHS
+        ):
+            continue
+        name = _entry_point_call(project, ctx, site.node)
+        if name is None:
+            continue
+        caller = site.caller or ""
+        if caller.startswith("<module>:"):
+            yield ctx.violation(
+                site.node, "R010",
+                f"{name}() runs an SSSP at import time, before any "
+                f"SPBudget can charge it; move it into a charging "
+                f"function",
+            )
+            continue
+        if caller in guards or caller not in uncharged:
+            continue
+        chain = " -> ".join(graph.path_to(uncharged, caller))
+        yield ctx.violation(
+            site.node, "R010",
+            f"{name}() is reachable from the public API with no budget "
+            f"charge anywhere on the path {chain}; every route into a "
+            f"traversal must pass through SPBudget.charge",
+        )

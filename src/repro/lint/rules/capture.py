@@ -1,0 +1,191 @@
+"""R013: worker tasks only touch picklable, worker-initialized state.
+
+A ``ParallelExecutor.map`` task executes in a child process.  Under
+the ``spawn`` start method the child re-imports the task's module, so
+a module-level *mutable* global the parent filled in (a dict of
+results, a loaded graph, an open handle) silently resets to its
+import-time value — the classic "works under fork, wrong under spawn"
+bug.  R008 catches unpicklable task *objects* per file; R013 resolves
+the task function across modules and flags reads of parent-owned
+mutable globals inside its body.  The sanctioned channel is
+``repro.parallel.executor.worker_state()``: state installed by the
+pool initializer, explicitly built for cross-process hand-off.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.context import FileContext
+from repro.lint.dataflow import param_names
+from repro.lint.project import FunctionInfo, ProjectContext, walk_no_nested
+from repro.lint.registry import project_rule
+from repro.lint.violation import Violation
+
+#: The executor module owns the worker-state plumbing itself.
+_EXEMPT_PATHS = frozenset({"repro/parallel/executor.py"})
+
+
+def _immutable_value(node: ast.AST) -> bool:
+    """Is this module-level initializer an immutable constant?"""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Tuple):
+        return all(_immutable_value(e) for e in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return _immutable_value(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _immutable_value(node.left) and _immutable_value(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "frozenset":
+            return all(_immutable_value(a) for a in node.args)
+        return False
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        # A rebinding of another module-level name: treat as constant —
+        # the mutable original (if any) is flagged where it is read.
+        return True
+    if isinstance(node, ast.Subscript):
+        # ``CellSpec = Tuple[str, str, int, int]``: a type alias, not
+        # parent-process state.
+        return isinstance(node.value, (ast.Name, ast.Attribute))
+    return False
+
+
+def _mutable_module_globals(ctx: FileContext) -> Set[str]:
+    """Module-level names bound to mutable (parent-owned) values."""
+    mutable: Set[str] = set()
+    for stmt in ctx.tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if _immutable_value(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutable.add(target.id)
+    return mutable
+
+
+def _local_bindings(node: ast.AST) -> Set[str]:
+    """Names the task function binds itself (params + assignments)."""
+    bound: Set[str] = set(param_names(node))
+    for sub in walk_no_nested(node):
+        if isinstance(sub, (ast.Name,)) and isinstance(
+            sub.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(sub.id)
+        elif isinstance(sub, ast.Global):
+            # ``global X`` is an explicit parent-state escape hatch —
+            # leave those names in the flagged set.
+            bound.difference_update(sub.names)
+    return bound
+
+
+def _annotation_node_ids(node: ast.AST) -> Set[int]:
+    """ids of AST nodes inside annotations (re-evaluated on re-import)."""
+    ids: Set[int] = set()
+    args = getattr(node, "args", None)
+    annotations = [
+        a.annotation
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if a.annotation is not None
+    ] if args is not None else []
+    if args is not None:
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is not None:
+                annotations.append(star.annotation)
+    returns = getattr(node, "returns", None)
+    if returns is not None:
+        annotations.append(returns)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.AnnAssign):
+            annotations.append(sub.annotation)
+    for annotation in annotations:
+        ids.update(id(n) for n in ast.walk(annotation))
+    return ids
+
+
+def _task_reads_of_globals(
+    task: FunctionInfo, mutable: Set[str]
+) -> Iterator[ast.Name]:
+    bound = _local_bindings(task.node)
+    in_annotations = _annotation_node_ids(task.node)
+    seen: Set[str] = set()
+    for node in walk_no_nested(task.node):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in mutable
+            and node.id not in bound
+            and node.id not in seen
+            and id(node) not in in_annotations
+        ):
+            seen.add(node.id)
+            yield node
+
+
+def _is_executor_map(ctx: FileContext, call: ast.Call) -> bool:
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "map"):
+        return False
+    base = func.value
+    if isinstance(base, ast.Name):
+        return "executor" in base.id.lower() or "pool" in base.id.lower()
+    if isinstance(base, ast.Call):
+        resolved = ctx.imports.resolve_node(base.func) or ""
+        return resolved.rpartition(".")[2] == "ParallelExecutor"
+    if isinstance(base, ast.Attribute):
+        return "executor" in base.attr.lower()
+    return False
+
+
+@project_rule(
+    "R013",
+    "cross-process-capture",
+    summary="worker task reads a parent-process mutable global",
+    invariant="Task functions run in spawned children: every object "
+              "they touch must arrive via task arguments or the "
+              "worker_state() initializer channel, never via a module "
+              "global the parent mutated (docs/parallel.md).",
+)
+def check_cross_process_capture(
+    project: ProjectContext, graph: CallGraph
+) -> Iterator[Violation]:
+    mutable_by_module: Dict[str, Set[str]] = {}
+    reported: Set[str] = set()
+    for site in graph.sites:
+        ctx = project.files.get(site.path)
+        if ctx is None or not isinstance(site.node, ast.Call):
+            continue
+        if not _is_executor_map(ctx, site.node):
+            continue
+        if not site.node.args:
+            continue
+        task = project.resolve_call(ctx, site.node.args[0])
+        if task is None or task.path in _EXEMPT_PATHS:
+            continue
+        if task.qualname in reported:
+            continue
+        reported.add(task.qualname)
+        if task.module not in mutable_by_module:
+            mutable_by_module[task.module] = _mutable_module_globals(task.ctx)
+        mutable = mutable_by_module[task.module]
+        if not mutable:
+            continue
+        for read in _task_reads_of_globals(task, mutable):
+            yield task.ctx.violation(
+                read, "R013",
+                f"worker task {task.name}() reads module global "
+                f"'{read.id}', a mutable object owned by the parent "
+                f"process; pass it as a task argument or install it "
+                f"via worker_state()",
+            )

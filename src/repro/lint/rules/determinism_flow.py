@@ -1,0 +1,180 @@
+"""R012: nondeterministic values must not reach durable identities.
+
+R001/R002/R007 flag nondeterminism *at the source* (unseeded RNG,
+clock reads, execution-only config fields).  R012 follows the value:
+entropy from an unseeded RNG, a clock, or unordered ``set``/``dict``
+iteration must not *flow into* a checkpoint key, a WAL record, or
+ranked output — the three places where a nondeterministic byte breaks
+resume, replay, or the paper's byte-identical-output guarantee.  A
+sanctioned ordering boundary (``sorted``/``min``/``max``) kills the
+taint; so does an explicit seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.dataflow import ProjectTaint, TaintPolicy
+from repro.lint.project import FunctionInfo, ProjectContext, walk_no_nested
+from repro.lint.registry import project_rule
+from repro.lint.rules.determinism import (
+    _CLOCK_NAMES,
+    _NUMPY_GLOBAL_FNS,
+    _SEEDABLE_CTORS,
+    _STDLIB_GLOBAL_FNS,
+    _is_seedless_call,
+)
+from repro.lint.violation import Violation
+
+#: Iterating these without sorting yields hash-order entropy.
+_UNORDERED_ITER_METHODS = frozenset({"keys", "values", "items"})
+
+#: Ordering/reduction boundaries that make iteration order immaterial.
+_SANITIZER_CALLS = frozenset({"sorted", "min", "max", "len", "sum"})
+
+#: Function-name fragments marking ranked-output producers.
+_RANKED_FRAGMENTS = ("top_k", "topk", "rank")
+
+
+def _nondeterministic_call(ctx: FileContext, call: ast.Call) -> Optional[str]:
+    """Why this call's result is nondeterministic, or ``None``."""
+    resolved = ctx.imports.resolve_node(call.func)
+    if resolved is not None:
+        if resolved in _CLOCK_NAMES:
+            return f"{resolved} (wall clock)"
+        if resolved in _SEEDABLE_CTORS and _is_seedless_call(call):
+            return f"{resolved} (unseeded RNG)"
+        module, _, fn = resolved.rpartition(".")
+        if module == "random" and fn in _STDLIB_GLOBAL_FNS:
+            return f"random.{fn} (global RNG)"
+        if module == "numpy.random" and fn in _NUMPY_GLOBAL_FNS:
+            return f"numpy.random.{fn} (global RNG)"
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+        return f"{func.id}() (unordered iteration)"
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _UNORDERED_ITER_METHODS
+        and not call.args
+    ):
+        base = dotted_name(func.value)
+        # dict views are insertion-ordered, but the insertion order of
+        # a dict built from parallel/merged results is not a contract;
+        # only a sorted() boundary makes the order canonical.
+        return f"{base or '<mapping>'}.{func.attr}() (unordered iteration)"
+    return None
+
+
+class DeterminismPolicy(TaintPolicy):
+    """Taint = "value carries run-to-run entropy"."""
+
+    def call_is_source(
+        self, ctx: FileContext, project: ProjectContext, call: ast.Call
+    ) -> bool:
+        return _nondeterministic_call(ctx, call) is not None
+
+    def expr_is_source(
+        self, ctx: FileContext, project: ProjectContext, node: ast.AST
+    ) -> bool:
+        return isinstance(node, ast.Set)
+
+    def call_is_sanitizer(
+        self, ctx: FileContext, project: ProjectContext, call: ast.Call
+    ) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in _SANITIZER_CALLS:
+            return True
+        resolved = ctx.imports.resolve_node(func)
+        return resolved == "builtins.sorted"
+
+    def call_propagates(
+        self, ctx: FileContext, project: ProjectContext, call: ast.Call
+    ) -> bool:
+        # ``"-".join(set(...))``, ``str(time.time())``: formatting an
+        # entropic value keeps the entropy.
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr in ("join", "format", "encode", "hexdigest")
+        if isinstance(func, ast.Name):
+            return func.id in ("str", "repr", "bytes", "hash", "tuple",
+                               "list", "int", "float")
+        return False
+
+
+def _sink_call(call: ast.Call) -> Optional[str]:
+    """The durable sink this call writes to, or ``None``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        if isinstance(func, ast.Name) and func.id == "log_event":
+            return "event log"
+        return None
+    base = func.value
+    base_name = (
+        base.id if isinstance(base, ast.Name)
+        else base.attr if isinstance(base, ast.Attribute) else ""
+    ).lower()
+    if func.attr in ("put", "get", "contains", "delete") and "store" in base_name:
+        return "checkpoint store key"
+    if func.attr == "append" and "wal" in base_name:
+        return "WAL record"
+    if func.attr == "log_event":
+        return "event log"
+    return None
+
+
+def _is_key_builder(info: FunctionInfo) -> bool:
+    return "key" in info.name.lower()
+
+
+def _is_ranked_producer(info: FunctionInfo) -> bool:
+    lowered = info.name.lower()
+    return any(fragment in lowered for fragment in _RANKED_FRAGMENTS)
+
+
+@project_rule(
+    "R012",
+    "nondeterminism-reaches-output",
+    summary="unseeded RNG / clock / unordered-iteration value flows "
+            "into a key, WAL record, or ranked output",
+    invariant="Checkpoint keys, WAL records and ranked output are "
+              "byte-deterministic: entropy sources (unseeded RNG, "
+              "clocks, set/dict iteration order) must pass a sorted() "
+              "or explicit-seed boundary before reaching them "
+              "(docs/parallel.md, docs/resilience.md).",
+)
+def check_determinism_flow(
+    project: ProjectContext, graph: CallGraph
+) -> Iterator[Violation]:
+    taint = ProjectTaint(project, DeterminismPolicy())
+    for info in project.iter_functions():
+        flow = taint.analyze(info)
+        key_builder = _is_key_builder(info)
+        ranked = _is_ranked_producer(info)
+        for node in walk_no_nested(info.node):
+            if isinstance(node, ast.Call):
+                sink = _sink_call(node)
+                if sink is None:
+                    continue
+                payload = list(node.args[:1] if sink == "checkpoint store key"
+                               else node.args)
+                for arg in payload:
+                    if flow.expr_tainted(arg):
+                        yield info.ctx.violation(
+                            node, "R012",
+                            f"nondeterministic value flows into a {sink}; "
+                            f"pass it through sorted() or derive it from "
+                            f"the seed",
+                        )
+                        break
+            elif isinstance(node, ast.Return) and (key_builder or ranked):
+                if node.value is not None and flow.expr_tainted(node.value):
+                    what = "key" if key_builder else "ranked output"
+                    yield info.ctx.violation(
+                        node, "R012",
+                        f"{info.name}() returns a {what} built from a "
+                        f"nondeterministic value; order or seed it "
+                        f"explicitly before returning",
+                    )

@@ -19,19 +19,29 @@ from repro.lint.violation import Violation
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
 _MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray", "deque",
-                            "defaultdict", "Counter", "OrderedDict"})
+                            "defaultdict", "Counter", "OrderedDict",
+                            "sorted"})
+
+#: Method calls that hand back a fresh *mutable* container.
+_MUTABLE_FACTORY_METHODS = frozenset({"copy", "fromkeys", "split",
+                                      "splitlines"})
 
 _BROAD_NAMES = frozenset({"Exception", "BaseException"})
 
 
-def _is_mutable_default(node: ast.AST) -> bool:
+def _is_mutable_default(ctx: FileContext, node: ast.AST) -> bool:
     if isinstance(node, _MUTABLE_LITERALS):
         return True
     if isinstance(node, ast.Call):
+        # Aliased imports count too: ``from collections import deque as
+        # dq`` still builds a deque.
+        resolved = ctx.imports.resolve_node(node.func)
+        if resolved is not None and resolved.rpartition(".")[2] in _MUTABLE_CTORS:
+            return True
         name = node.func.id if isinstance(node.func, ast.Name) else (
             node.func.attr if isinstance(node.func, ast.Attribute) else ""
         )
-        return name in _MUTABLE_CTORS
+        return name in _MUTABLE_CTORS or name in _MUTABLE_FACTORY_METHODS
     return False
 
 
@@ -51,7 +61,7 @@ def check_mutable_defaults(ctx: FileContext) -> Iterator[Violation]:
             d for d in node.args.kw_defaults if d is not None
         ]
         for default in defaults:
-            if _is_mutable_default(default):
+            if _is_mutable_default(ctx, default):
                 yield ctx.violation(
                     default, "R005",
                     f"mutable default argument in {node.name}(); use None "
@@ -75,10 +85,28 @@ def _is_broad(handler: ast.ExceptHandler) -> bool:
     return False
 
 
+def _walk_handler_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk statements that actually *execute* in the handler.
+
+    A ``raise`` or ``log_event`` inside a nested ``def``/``lambda``
+    only runs if that function is later called — it does not route this
+    handler's failure, so those subtrees are skipped.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
 def _routes_or_reraises(handler: ast.ExceptHandler) -> bool:
     """Handler re-raises, or reports through resilience.events."""
     for node in handler.body:
-        for sub in ast.walk(node):
+        for sub in _walk_handler_body(node):
             if isinstance(sub, ast.Raise):
                 return True
             if isinstance(sub, ast.Call):

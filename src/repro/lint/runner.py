@@ -1,13 +1,29 @@
-"""Drive the rules over files and fold in suppressions + baseline."""
+"""Drive the two-phase analysis over files and fold in suppressions.
+
+Phase 1 runs every file-scope rule per file (cacheable: the result is
+a pure function of the file's bytes, its path, and the rule set).
+Phase 2 builds the whole-program :class:`ProjectContext` + call graph
+once and runs the project-scope rules over it.  Findings from both
+phases merge per file before suppressions apply, so one inline waiver
+works identically for either kind of rule — and a waiver whose rule no
+longer fires is itself reported as *stale* (a strict failure), keeping
+the suppression inventory honest.
+
+Everything is processed in sorted-path order regardless of argument
+order, so reports are byte-identical across shuffled inputs.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.baseline import Baseline
+from repro.lint.cache import AnalysisCache, cache_key
+from repro.lint.callgraph import CallGraph
 from repro.lint.context import FileContext
+from repro.lint.project import ProjectContext
 from repro.lint.registry import Rule, all_rules, select_rules
 from repro.lint.suppress import (
     Suppression,
@@ -32,6 +48,12 @@ class LintResult:
     unjustified_suppressions: List[Tuple[str, Suppression]] = field(
         default_factory=list
     )
+    #: Suppressions whose rule no longer fires on their line, as
+    #: ``(path, suppression, code)`` — fixed code wearing a stale
+    #: waiver (strict error).
+    stale_suppressions: List[Tuple[str, Suppression, str]] = field(
+        default_factory=list
+    )
     #: Files that failed to parse, as ``(path, error)`` — always fatal.
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
     #: Number of files linted.
@@ -41,9 +63,34 @@ class LintResult:
         """Whether the run passes (strict adds stale/unjustified checks)."""
         if self.new_violations or self.parse_errors:
             return False
-        if strict and (self.stale_baseline or self.unjustified_suppressions):
+        if strict and (
+            self.stale_baseline
+            or self.unjustified_suppressions
+            or self.stale_suppressions
+        ):
             return False
         return True
+
+
+def _split_rules(
+    rules: Sequence[Rule],
+) -> Tuple[List[Rule], List[Rule]]:
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if r.scope == "project"]
+    return file_rules, project_rules
+
+
+def _check_project(
+    contexts: Sequence[FileContext], project_rules: Sequence[Rule]
+) -> List[Violation]:
+    if not project_rules or not contexts:
+        return []
+    project = ProjectContext(contexts)
+    graph = CallGraph(project)
+    found: List[Violation] = []
+    for rule in project_rules:
+        found.extend(rule.check(project, graph))
+    return found
 
 
 def lint_source(
@@ -55,12 +102,15 @@ def lint_source(
 
     ``path`` should be the lint-root-relative posix path — several rules
     scope themselves by package location (e.g. R002's allowlist, R004's
-    engine exemption).
+    engine exemption).  Project-scope rules see a one-file project.
     """
     ctx = FileContext.parse(path, source)
+    selected = list(rules) if rules is not None else all_rules()
+    file_rules, project_rules = _split_rules(selected)
     found: List[Violation] = []
-    for r in rules if rules is not None else all_rules():
+    for r in file_rules:
         found.extend(r.check(ctx))
+    found.extend(_check_project([ctx], project_rules))
     found.sort()
     return apply_suppressions(found, parse_suppressions(ctx.lines))
 
@@ -84,19 +134,33 @@ def lint_paths(
     *,
     baseline: Optional[Baseline] = None,
     select: Optional[Sequence[str]] = None,
+    cache: Optional[AnalysisCache] = None,
+    changed: Optional[Set[str]] = None,
 ) -> LintResult:
     """Lint every ``*.py`` under ``paths`` and aggregate the outcome.
 
     Each path is a lint root: rule-relevant module paths (``repro/...``)
     are computed relative to it, so pass ``src`` (or a file inside it).
+
+    ``cache`` reuses phase-1 results for byte-identical files;
+    ``changed`` restricts *reporting* to the given relative paths while
+    still analyzing the whole program (project rules need every file),
+    and disables stale-baseline accounting (undecidable on a slice).
     """
     rules = select_rules(select) if select else all_rules()
+    file_rules, project_rules = _split_rules(rules)
+    file_rule_codes = sorted(r.code for r in file_rules)
+    selected_codes = {r.code for r in rules}
     result = LintResult()
-    all_violations: List[Violation] = []
+
+    contexts: Dict[str, FileContext] = {}
+    raw_by_path: Dict[str, List[Violation]] = {}
     for root in paths:
         root = Path(root)
         for file in _iter_python_files(root):
             relpath = _relative_path(file, root)
+            if relpath in contexts:
+                continue
             source = file.read_text(encoding="utf-8")
             result.files += 1
             try:
@@ -104,19 +168,55 @@ def lint_paths(
             except SyntaxError as exc:
                 result.parse_errors.append((relpath, str(exc)))
                 continue
-            found: List[Violation] = []
-            for r in rules:
-                found.extend(r.check(ctx))
-            found.sort()
-            suppressions = parse_suppressions(ctx.lines)
-            all_violations.extend(apply_suppressions(found, suppressions))
-            result.unjustified_suppressions.extend(
-                (relpath, sup) for sup in unjustified(suppressions)
-            )
+            contexts[relpath] = ctx
+            key = cache_key(relpath, source, file_rule_codes)
+            found = cache.get(key) if cache is not None else None
+            if found is None:
+                found = []
+                for r in file_rules:
+                    found.extend(r.check(ctx))
+                found.sort()
+                if cache is not None:
+                    cache.put(key, found)
+            raw_by_path[relpath] = list(found)
+
+    ordered_contexts = [contexts[p] for p in sorted(contexts)]
+    for violation in _check_project(ordered_contexts, project_rules):
+        raw_by_path.setdefault(violation.path, []).append(violation)
+
+    all_violations: List[Violation] = []
+    for relpath in sorted(raw_by_path):
+        ctx = contexts.get(relpath)
+        if ctx is None:
+            continue
+        raw = sorted(raw_by_path[relpath])
+        suppressions = parse_suppressions(ctx.lines)
+        all_violations.extend(apply_suppressions(raw, suppressions))
+        result.unjustified_suppressions.extend(
+            (relpath, sup) for sup in unjustified(suppressions)
+        )
+        fired = {(v.code, v.line) for v in raw}
+        for sup in suppressions:
+            for code in sup.codes:
+                if code not in selected_codes:
+                    continue
+                if (code, sup.target_line) not in fired:
+                    result.stale_suppressions.append((relpath, sup, code))
+
+    result.parse_errors.sort()
     all_violations.sort()
+    if changed is not None:
+        all_violations = [v for v in all_violations if v.path in changed]
+        result.unjustified_suppressions = [
+            item for item in result.unjustified_suppressions
+            if item[0] in changed
+        ]
+        result.stale_suppressions = [
+            item for item in result.stale_suppressions if item[0] in changed
+        ]
     result.violations = all_violations
     baseline = baseline if baseline is not None else Baseline()
-    result.new_violations, result.stale_baseline = baseline.partition(
-        all_violations
-    )
+    result.new_violations, stale_baseline = baseline.partition(all_violations)
+    # A report slice cannot tell "fixed debt" from "file not reported".
+    result.stale_baseline = [] if changed is not None else stale_baseline
     return result

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 output for ``repro lint``.
+
+SARIF is the interchange format code-scanning UIs ingest (GitHub's
+security tab, VS Code SARIF viewers), so the lint job can publish its
+findings as a reviewable artifact instead of a log.  The document is
+built deterministically — rules sorted by code, results in violation
+order, no timestamps — so the same tree always produces the same
+bytes, which is also what the golden-snapshot test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.registry import Rule
+from repro.lint.violation import Violation
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "reprolint"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.invariant},
+        "properties": {"scope": rule.scope},
+    }
+
+
+def _result(violation: Violation, rule_index: Dict[str, int]) -> Dict[str, Any]:
+    return {
+        "ruleId": violation.code,
+        "ruleIndex": rule_index.get(violation.code, -1),
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": violation.path},
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reprolint/v1": "/".join(
+                (violation.code, violation.path, violation.line_text)
+            ),
+        },
+    }
+
+
+def sarif_document(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> Dict[str, Any]:
+    """The SARIF log object for one lint run."""
+    ordered_rules = sorted(rules, key=lambda r: r.code)
+    rule_index = {rule.code: i for i, rule in enumerate(ordered_rules)}
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": (
+                            "https://example.invalid/docs/static-analysis"
+                        ),
+                        "rules": [
+                            _rule_descriptor(r) for r in ordered_rules
+                        ],
+                    }
+                },
+                "results": [
+                    _result(v, rule_index) for v in sorted(violations)
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> str:
+    """Byte-deterministic SARIF text (sorted keys, trailing newline)."""
+    return json.dumps(
+        sarif_document(violations, rules), indent=2, sort_keys=True
+    ) + "\n"

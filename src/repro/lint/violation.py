@@ -45,3 +45,15 @@ class Violation:
             "message": self.message,
             "line_text": self.line_text,
         }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Violation":
+        """Inverse of :meth:`to_json` (used by the analysis cache)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            code=str(data["code"]),
+            message=str(data["message"]),
+            line_text=str(data.get("line_text", "")),
+        )

@@ -32,13 +32,22 @@ def codes(violations) -> list:
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-def test_all_nine_rules_registered():
+def test_all_thirteen_rules_registered():
     assert [r.code for r in all_rules()] == [
         "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-        "R009",
+        "R009", "R010", "R011", "R012", "R013",
     ]
     for r in all_rules():
         assert r.invariant  # every rule documents what it protects
+    scopes = {r.code: r.scope for r in all_rules()}
+    assert all(
+        scopes[code] == "project" for code in ("R010", "R011", "R012", "R013")
+    )
+    assert all(
+        scopes[code] == "file"
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
+                     "R008", "R009")
+    )
 
 
 def test_unknown_rule_code_raises():
@@ -206,6 +215,42 @@ def test_r005_passes_none_and_immutable_defaults():
     assert found == []
 
 
+def test_r005_flags_call_expression_defaults():
+    found = lint("""
+        def a(seen=list()):
+            return seen
+        def b(counts=dict()):
+            return counts
+        def c(bag=set()):
+            return bag
+        def d(order=sorted([])):
+            return order
+        def e(table=dict.fromkeys("ab")):
+            return table
+        def f(snapshot=[].copy()):
+            return snapshot
+    """)
+    assert codes(found) == ["R005"] * 6
+
+
+def test_r005_resolves_aliased_constructors():
+    found = lint("""
+        from builtins import list as mklist
+
+        def g(seen=mklist()):
+            return seen
+    """)
+    assert codes(found) == ["R005"]
+
+
+def test_r005_passes_frozen_call_defaults():
+    found = lint("""
+        def h(pair=tuple(), names=frozenset(), n=int(), s=str()):
+            return pair, names, n, s
+    """)
+    assert found == []
+
+
 # ----------------------------------------------------------------------
 # R006 — swallowed broad except
 # ----------------------------------------------------------------------
@@ -248,6 +293,46 @@ def test_r006_passes_reraise_or_event_routing():
                 return None
     """)
     assert found == []
+
+
+def test_r006_flags_tuple_and_base_exception_forms():
+    found = lint("""
+        def tupled(fn):
+            try:
+                return fn()
+            except (ValueError, Exception):
+                return None
+        def based(fn):
+            try:
+                return fn()
+            except BaseException:
+                return None
+    """)
+    assert codes(found) == ["R006", "R006"]
+    narrow_tuple = lint("""
+        def tupled(fn):
+            try:
+                return fn()
+            except (ValueError, KeyError):
+                return None
+    """)
+    assert narrow_tuple == []
+
+
+def test_r006_nested_def_raise_does_not_route():
+    # The raise/log_event must belong to the handler itself — one
+    # buried in a nested function the handler merely *defines* runs
+    # later (or never) and still swallows the failure.
+    found = lint("""
+        def sneaky(fn):
+            try:
+                return fn()
+            except Exception:
+                def later():
+                    raise
+                return later
+    """)
+    assert codes(found) == ["R006"]
 
 
 # ----------------------------------------------------------------------
