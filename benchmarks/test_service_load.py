@@ -1,0 +1,240 @@
+"""Service load benchmark: latency, coalescing, and shed under burst.
+
+Drives an in-process :class:`~repro.service.server.ConvergenceService`
+(the same object ``repro serve`` runs, minus the socket) through three
+workloads:
+
+* **Cold latency** — distinct, uncacheable queries; reports the p50/p99
+  request latency of the full parse → admit → compute → encode path.
+* **Cache and coalescing** — the cached-answer speedup over a cold
+  compute, and a burst of identical queries that must collapse to one
+  computation (hit rate = (N-1)/N).
+* **Shed under burst** — a burst past the admission bound; every
+  over-capacity arrival is rejected *before* compute and the queue
+  depth never exceeds the configured capacity.
+
+With ``REPRO_WRITE_BENCH`` set, writes the ``BENCH_service.json``
+baseline at the repository root (schema ``bench-service/v1``) with host
+provenance.  ``scripts/check_bench.py`` enforces a 1.5x floor on the
+best recorded speedup — serving a version-keyed cached answer must beat
+recomputing it on any host, or the cache is dead weight.
+"""
+
+import asyncio
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.datasets import load
+from repro.parallel import available_start_method
+from repro.runtime import RuntimeConfig, StreamRuntime
+from repro.service import ConvergenceService
+
+from conftest import emit
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+ROUNDS = 3
+COLD_REQUESTS = 40
+BURST = 64
+CAPACITY = 16
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def make_service(tmp_path, scale, *, capacity=64, name="wal"):
+    stream = load("facebook", scale=scale, seed=23)
+    events = sum(1 for _ in stream.events())
+    runtime = StreamRuntime(
+        stream,
+        tmp_path / name,
+        RuntimeConfig(k=10, batch_size=max(20, events // 12),
+                      checkpoint_every=2),
+    )
+    runtime.run()
+    return ConvergenceService(runtime, capacity=capacity)
+
+
+async def timed_request(service, line):
+    start = time.perf_counter()
+    response = await service.handle_line(line)
+    elapsed = time.perf_counter() - start
+    return json.loads(response), elapsed
+
+
+async def cold_latency(service):
+    """Distinct node/topk queries: every request is a cache miss."""
+    service.start_worker()
+    nodes = sorted(service.runtime.window_snapshots(0)[1].nodes(),
+                   key=repr)
+    samples = []
+    for i in range(COLD_REQUESTS):
+        if i % 2:
+            line = json.dumps({"verb": "topk", "args": {"k": 1 + i}})
+        else:
+            u = nodes[i % len(nodes)]
+            line = json.dumps({"verb": "node", "args": {"u": u, "k": 5}})
+        response, elapsed = await timed_request(service, line)
+        assert response["ok"], response
+        samples.append(elapsed)
+    return samples
+
+
+async def cache_speedup(service):
+    """Best-of cold compute time vs best-of cached serve time."""
+    line = json.dumps({"verb": "topk", "args": {"k": 7}})
+    service.start_worker()
+    cold = []
+    for _ in range(ROUNDS):
+        service.cache.invalidate(service.cache.version + 1)
+        _, elapsed = await timed_request(service, line)
+        cold.append(elapsed)
+    service.cache.invalidate(service.runtime.state_version)
+    warm = []
+    await timed_request(service, line)  # prime at the real version
+    for _ in range(ROUNDS):
+        _, elapsed = await timed_request(service, line)
+        warm.append(elapsed)
+    return min(cold), min(warm)
+
+
+async def coalesced_burst(service):
+    """A burst of identical queries shares one computation."""
+    line = json.dumps({"verb": "topk", "args": {"k": 9}})
+    tasks = [
+        asyncio.ensure_future(service.handle_line(line))
+        for _ in range(BURST)
+    ]
+    await asyncio.sleep(0)
+    start = time.perf_counter()
+    service.start_worker()
+    responses = [json.loads(await t) for t in tasks]
+    elapsed = time.perf_counter() - start
+    assert all(r["ok"] for r in responses)
+    assert len({json.dumps(r, sort_keys=True) for r in responses}) == 1
+    return elapsed
+
+
+async def shed_burst(service):
+    """Arrivals past the admission bound are rejected pre-compute."""
+    tasks = [
+        asyncio.ensure_future(service.handle_line(
+            json.dumps({"verb": "topk", "args": {"k": 1 + i}})
+        ))
+        for i in range(BURST)
+    ]
+    await asyncio.sleep(0)
+    depth = service.controller.depth
+    assert depth <= CAPACITY
+    service.start_worker()
+    responses = [json.loads(await t) for t in tasks]
+    ok = sum(1 for r in responses if r["ok"])
+    rejected = sum(
+        1 for r in responses
+        if not r["ok"] and r["error"]["code"] == "over_capacity"
+    )
+    assert ok == CAPACITY and ok + rejected == BURST
+    return depth, ok, rejected
+
+
+def test_service_load(config, tmp_path):
+    async def run_all():
+        latency_svc = make_service(tmp_path, config.scale, name="lat")
+        samples = await cold_latency(latency_svc)
+        await latency_svc.drain()
+
+        cache_svc = make_service(tmp_path, config.scale, name="cache")
+        cold_s, warm_s = await cache_speedup(cache_svc)
+        await cache_svc.drain()
+
+        co_svc = make_service(tmp_path, config.scale, name="co")
+        burst_s = await coalesced_burst(co_svc)
+        hit_rate = co_svc.counters.coalesced / BURST
+        computations = co_svc.counters.cache_misses
+        await co_svc.drain()
+
+        shed_svc = make_service(
+            tmp_path, config.scale, capacity=CAPACITY, name="shed"
+        )
+        depth, ok, rejected = await shed_burst(shed_svc)
+        await shed_svc.drain()
+
+        return {
+            "samples": samples,
+            "cold_s": cold_s, "warm_s": warm_s,
+            "burst_s": burst_s,
+            "hit_rate": hit_rate, "computations": computations,
+            "depth": depth, "ok": ok, "rejected": rejected,
+        }
+
+    m = asyncio.run(run_all())
+
+    p50 = percentile(m["samples"], 0.50)
+    p99 = percentile(m["samples"], 0.99)
+    cached = m["cold_s"] / m["warm_s"]
+    # One computation serving a BURST-wide fan-in: the per-request cost
+    # of the coalesced burst against the cold single-request cost.
+    coalesced = m["cold_s"] / (m["burst_s"] / BURST)
+    shed_rate = m["rejected"] / BURST
+
+    baseline = {
+        "schema": "bench-service/v1",
+        "scale": config.scale,
+        "host": {
+            "cpus": os.cpu_count() or 1,
+            "platform": platform.system().lower(),
+            "start_method": available_start_method(),
+        },
+        "latency_ms": {
+            "p50": round(p50 * 1e3, 3),
+            "p99": round(p99 * 1e3, 3),
+            "requests": COLD_REQUESTS,
+        },
+        "coalescing": {
+            "burst": BURST,
+            "computations": m["computations"],
+            "hit_rate": round(m["hit_rate"], 4),
+        },
+        "burst": {
+            "requests": BURST,
+            "capacity": CAPACITY,
+            "served": m["ok"],
+            "rejected": m["rejected"],
+            "max_depth": m["depth"],
+            "shed_rate": round(shed_rate, 4),
+        },
+        "speedup": {
+            "cached_answer": round(cached, 3),
+            "coalesced_burst": round(coalesced, 3),
+        },
+    }
+
+    emit(
+        "service load @ scale {scale}\n"
+        "  cold latency     p50 {p50:.3f} ms   p99 {p99:.3f} ms\n"
+        "  cached answer    {cached:.1f}x over cold compute\n"
+        "  coalesced burst  {n} requests -> {c} computation(s), "
+        "hit rate {hr:.0%}, {co:.1f}x per request\n"
+        "  shed under burst {rej}/{n} rejected pre-compute, "
+        "queue depth max {depth}/{cap}".format(
+            scale=config.scale, p50=p50 * 1e3, p99=p99 * 1e3,
+            cached=cached, n=BURST, c=m["computations"],
+            hr=m["hit_rate"], co=coalesced, rej=m["rejected"],
+            depth=m["depth"], cap=CAPACITY,
+        )
+    )
+
+    assert m["hit_rate"] >= (BURST - 1) / BURST
+    assert m["computations"] == 1
+    assert m["depth"] <= CAPACITY
+
+    if os.environ.get("REPRO_WRITE_BENCH"):
+        BASELINE_PATH.write_text(
+            json.dumps(baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        emit(f"wrote {BASELINE_PATH}")

@@ -14,6 +14,12 @@ enforces a per-schema speedup floor on the best recorded speedup:
 * ``bench-prune/v1`` (``BENCH_prune.json``) — floor 1.5× on the best
   dataset/engine cell of the Δ-aware pruned top-k pass.  Also
   algorithmic: skipped and level-cut traversals save work on any host.
+* ``bench-service/v1`` (``BENCH_service.json``) — floor 1.5× on the
+  best of the query service's cached-answer and coalesced-burst
+  speedups over a cold compute; serving a version-keyed cached answer
+  must beat recomputing it on any host.  Also validates the service's
+  latency percentiles, the one-computation coalescing invariant, and
+  that the burst queue depth never exceeded the admission bound.
 
 ``--min-speedup`` overrides every schema's default floor (the CI
 bench-gate uses it to re-check freshly regenerated smoke baselines);
@@ -88,6 +94,52 @@ def _check_prune(baseline: dict) -> List[str]:
     return problems
 
 
+def _check_service(baseline: dict) -> List[str]:
+    problems = []
+    latency = baseline.get("latency_ms")
+    if not isinstance(latency, dict):
+        problems.append("latency_ms must be an object")
+    else:
+        p50, p99 = latency.get("p50"), latency.get("p99")
+        for name, value in (("p50", p50), ("p99", p99)):
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"latency_ms: bad {name}")
+        if (isinstance(p50, (int, float)) and isinstance(p99, (int, float))
+                and p99 < p50):
+            problems.append("latency_ms: p99 below p50")
+    coalescing = baseline.get("coalescing")
+    if not isinstance(coalescing, dict):
+        problems.append("coalescing must be an object")
+    else:
+        hit_rate = coalescing.get("hit_rate")
+        if not isinstance(hit_rate, (int, float)) or not 0 <= hit_rate <= 1:
+            problems.append("coalescing: hit_rate must be in [0, 1]")
+        if coalescing.get("computations") != 1:
+            problems.append(
+                "coalescing: an identical-query burst must collapse "
+                "to exactly one computation"
+            )
+    burst = baseline.get("burst")
+    if not isinstance(burst, dict):
+        problems.append("burst must be an object")
+    else:
+        shed_rate = burst.get("shed_rate")
+        if not isinstance(shed_rate, (int, float)) or not 0 <= shed_rate <= 1:
+            problems.append("burst: shed_rate must be in [0, 1]")
+        depth, capacity = burst.get("max_depth"), burst.get("capacity")
+        for name, value in (("max_depth", depth), ("capacity", capacity),
+                            ("served", burst.get("served")),
+                            ("rejected", burst.get("rejected"))):
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"burst: bad {name}")
+        if (isinstance(depth, int) and isinstance(capacity, int)
+                and depth > capacity):
+            problems.append(
+                "burst: queue depth exceeded the admission bound"
+            )
+    return problems
+
+
 @dataclass(frozen=True)
 class SchemaSpec:
     """What one benchmark-baseline schema requires."""
@@ -118,6 +170,13 @@ SCHEMAS: Dict[str, SchemaSpec] = {
         default_floor=1.5,
         floor_needs_multicore=False,
         extra_check=_check_prune,
+    ),
+    "bench-service/v1": SchemaSpec(
+        required=("schema", "scale", "host", "latency_ms", "coalescing",
+                  "burst", "speedup"),
+        default_floor=1.5,
+        floor_needs_multicore=False,
+        extra_check=_check_service,
     ),
 }
 

@@ -378,14 +378,9 @@ def _chaos_hook_from_env():
     return hook
 
 
-def cmd_advance(args) -> int:
-    from repro.runtime import (
-        ResourceGuard,
-        RuntimeConfig,
-        RuntimeRecoveryError,
-        StreamRuntime,
-        WALError,
-    )
+def _runtime_config_from_args(args):
+    """Shared ``advance``/``serve``/``query`` flag validation."""
+    from repro.runtime import RuntimeConfig
 
     if args.selector is not None:
         try:
@@ -396,12 +391,8 @@ def cmd_advance(args) -> int:
         raise CLIError(
             f"--max-restarts must be >= 0, got {args.max_restarts}"
         )
-    if args.max_batches is not None and args.max_batches < 1:
-        raise CLIError(
-            f"--max-batches must be >= 1, got {args.max_batches}"
-        )
     try:
-        config = RuntimeConfig(
+        return RuntimeConfig(
             k=args.k,
             batch_size=args.batch_size,
             checkpoint_every=args.checkpoint_every,
@@ -414,33 +405,161 @@ def cmd_advance(args) -> int:
         # bounds, budgeted mode needing --m); a rejected combination is
         # user input — exit 2, like every other flag error.
         raise CLIError(str(exc)) from None
-    guard = None
-    if args.soft_memory_mb is not None or args.soft_time_s is not None:
-        try:
-            guard = ResourceGuard(
-                soft_memory_mb=args.soft_memory_mb,
-                soft_time_s=args.soft_time_s,
-            )
-        except ValueError as exc:
-            raise CLIError(str(exc)) from None
+
+
+def _resource_guard_from_args(args):
+    from repro.runtime import ResourceGuard
+
+    if args.soft_memory_mb is None and args.soft_time_s is None:
+        return None
+    try:
+        return ResourceGuard(
+            soft_memory_mb=args.soft_memory_mb,
+            soft_time_s=args.soft_time_s,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def _runtime_from_args(args, *, guard=None, chaos=None):
+    """Open (= recover) the stream runtime described by the flags."""
+    from repro.runtime import (
+        RuntimeRecoveryError,
+        StreamRuntime,
+        WALError,
+    )
+
+    config = _runtime_config_from_args(args)
     temporal = _load_input(args.input, args.scale, args.seed)
     try:
-        runtime = StreamRuntime(
+        return StreamRuntime(
             temporal,
             args.wal_dir,
             config,
             max_restarts=args.max_restarts,
             workers=_check_workers(args.workers),
             guard=guard,
-            chaos=_chaos_hook_from_env(),
+            chaos=chaos,
         )
     except (WALError, RuntimeRecoveryError) as exc:
         # A WAL/checkpoint directory this run cannot safely resume from
         # is an operator-fixable state problem, not an internal bug.
         raise CLIError(str(exc)) from None
+
+
+def cmd_advance(args) -> int:
+    if args.max_batches is not None and args.max_batches < 1:
+        raise CLIError(
+            f"--max-batches must be >= 1, got {args.max_batches}"
+        )
+    runtime = _runtime_from_args(
+        args,
+        guard=_resource_guard_from_args(args),
+        chaos=_chaos_hook_from_env(),
+    )
     report = runtime.run(max_batches=args.max_batches)
     print(report.render(limit=args.limit))
     return 0
+
+
+def _service_address(args):
+    """``--socket`` / ``--host``+``--port`` flags -> a service address."""
+    if args.socket is not None:
+        return ("unix", str(args.socket))
+    if args.port is None:
+        raise CLIError("need --socket PATH or --port N to reach the service")
+    return ("tcp", args.host, args.port)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import canonical_json
+
+    if args.status:
+        from repro.service.client import ServiceClientError, one_shot
+
+        address = _service_address(args)
+        try:
+            response = one_shot(address, "health")
+        except (OSError, ServiceClientError) as exc:
+            raise CLIError(f"cannot reach service: {exc}") from None
+        print(canonical_json(response))
+        return 0 if response.get("ok") else 1
+
+    from repro.service import ConvergenceService
+
+    if args.input is None:
+        raise CLIError("serve needs an input stream (or --status)")
+    if args.wal_dir is None:
+        raise CLIError("serve needs --wal-dir (or --status)")
+    if args.capacity < 1:
+        raise CLIError(f"--capacity must be >= 1, got {args.capacity}")
+    if args.advance_batches < 1:
+        raise CLIError(
+            f"--advance-batches must be >= 1, got {args.advance_batches}"
+        )
+    if args.socket is None and args.port is None:
+        args.port = 0  # ephemeral TCP; the ready line carries the port
+    address = _service_address(args)
+    chaos = _chaos_hook_from_env()
+    runtime = _runtime_from_args(args, chaos=chaos)
+    service = ConvergenceService(
+        runtime,
+        capacity=args.capacity,
+        advance_batches=args.advance_batches,
+        guard=_resource_guard_from_args(args),
+        chaos=chaos,
+    )
+
+    def ready(bound) -> None:
+        print(
+            canonical_json({"event": "ready", "address": list(bound)}),
+            flush=True,
+        )
+
+    asyncio.run(service.serve(address, ready=ready))
+    print(
+        canonical_json({
+            "event": "drained",
+            "served": service.counters.served,
+            "version": runtime.state_version,
+        }),
+        flush=True,
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.service import ProtocolError, canonical_json, compute_answer
+
+    runtime = _runtime_from_args(args)
+    query_args = {}
+    if args.query_k is not None:
+        query_args["k"] = args.query_k
+    if args.verb == "node":
+        if args.u is None:
+            raise CLIError("query node requires --u")
+        query_args["u"] = _parse_node_id(args.u)
+    try:
+        result = compute_answer(runtime, args.verb, query_args)
+    except ProtocolError as exc:
+        raise CLIError(str(exc)) from None
+    print(
+        canonical_json({
+            "result": result,
+            "version": runtime.state_version,
+        })
+    )
+    return 0
+
+
+def _parse_node_id(text: str):
+    """CLI node ids mirror the stream reader: integer-looking -> int."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
 
 
 def cmd_validate(args) -> int:
@@ -610,6 +729,30 @@ def _add_input_options(sub, with_split=True) -> None:
                               "(default 0.8)")
 
 
+def _add_runtime_options(sub, wal_required: bool = True) -> None:
+    """The streaming-runtime flags shared by advance/serve/query."""
+    sub.add_argument("--wal-dir", type=Path, required=wal_required,
+                     help="durable state root: the write-ahead log plus "
+                          "the checkpoint store (see docs/runtime.md)")
+    sub.add_argument("--k", type=int, default=10,
+                     help="top-k pairs per window")
+    sub.add_argument("--batch-size", type=int, default=8,
+                     help="events per WAL-logged batch")
+    sub.add_argument("--checkpoint-every", type=int, default=4,
+                     help="batches per window close + checkpoint + "
+                          "WAL compaction")
+    sub.add_argument("--selector", default=None,
+                     help="close windows with the budgeted algorithm "
+                          "using this selector (default: exact top-k)")
+    sub.add_argument("--m", type=int, default=0,
+                     help="candidate budget for --selector windows")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="process-pool workers for budgeted windows")
+    sub.add_argument("--max-restarts", type=int, default=3,
+                     help="lifetime window-computation restarts before "
+                          "the supervisor gives up")
+
+
 def _add_resilience_options(sub) -> None:
     """The long-run recovery flags shared by `experiment` and `monitor`."""
     sub.add_argument("--checkpoint-dir", type=Path, default=None,
@@ -727,26 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
              "previous run stopped",
     )
     _add_input_options(adv, with_split=False)
-    adv.add_argument("--wal-dir", type=Path, required=True,
-                     help="durable state root: the write-ahead log plus "
-                          "the checkpoint store (see docs/runtime.md)")
-    adv.add_argument("--k", type=int, default=10,
-                     help="top-k pairs per window")
-    adv.add_argument("--batch-size", type=int, default=8,
-                     help="events per WAL-logged batch")
-    adv.add_argument("--checkpoint-every", type=int, default=4,
-                     help="batches per window close + checkpoint + "
-                          "WAL compaction")
-    adv.add_argument("--selector", default=None,
-                     help="close windows with the budgeted algorithm "
-                          "using this selector (default: exact top-k)")
-    adv.add_argument("--m", type=int, default=0,
-                     help="candidate budget for --selector windows")
-    adv.add_argument("--workers", type=int, default=1,
-                     help="process-pool workers for budgeted windows")
-    adv.add_argument("--max-restarts", type=int, default=3,
-                     help="lifetime window-computation restarts before "
-                          "the supervisor gives up")
+    _add_runtime_options(adv)
     adv.add_argument("--max-batches", type=int, default=None,
                      help="stop (resumably) after this many new batches")
     adv.add_argument("--soft-memory-mb", type=float, default=None,
@@ -758,6 +882,58 @@ def build_parser() -> argparse.ArgumentParser:
     adv.add_argument("--limit", type=int, default=5,
                      help="pairs to print per window")
     adv.set_defaults(func=cmd_advance)
+
+    srv = subs.add_parser(
+        "serve",
+        help="always-on query service over a runtime --wal-dir: "
+             "line-delimited JSON over TCP or a UNIX socket "
+             "(see docs/service.md)",
+    )
+    srv.add_argument("input", nargs="?", default=None,
+                     help="catalog dataset name or edge-list path "
+                          "(not needed with --status)")
+    srv.add_argument("--scale", type=float, default=1.0,
+                     help="catalog scale factor (ignored for files)")
+    srv.add_argument("--seed", type=int, default=None,
+                     help="generator / selector seed")
+    _add_runtime_options(srv, wal_required=False)
+    srv.add_argument("--socket", type=Path, default=None,
+                     help="serve on (or query) this UNIX socket path")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="TCP bind host (with --port)")
+    srv.add_argument("--port", type=int, default=None,
+                     help="TCP port (0 = ephemeral; the ready line "
+                          "carries the bound port)")
+    srv.add_argument("--capacity", type=int, default=64,
+                     help="admission queue bound; arrivals past it are "
+                          "rejected with code over_capacity")
+    srv.add_argument("--advance-batches", type=int, default=1,
+                     help="stream batches ingested per advance request")
+    srv.add_argument("--soft-memory-mb", type=float, default=None,
+                     help="soft peak-RSS budget: shed the queue, then "
+                          "checkpoint")
+    srv.add_argument("--soft-time-s", type=float, default=None,
+                     help="soft elapsed-time budget: shed the queue, "
+                          "then checkpoint")
+    srv.add_argument("--status", action="store_true",
+                     help="query a running service's health and exit")
+    srv.set_defaults(func=cmd_serve)
+
+    qry = subs.add_parser(
+        "query",
+        help="batch convergence query against a checkpointed --wal-dir "
+             "(the differential oracle for `repro serve` answers)",
+    )
+    qry.add_argument("verb", choices=("topk", "node"),
+                     help="global top-k pairs, or partners converging "
+                          "toward one node")
+    _add_input_options(qry, with_split=False)
+    _add_runtime_options(qry)
+    qry.add_argument("--query-k", type=int, default=None,
+                     help="answer size (default: the runtime's k)")
+    qry.add_argument("--u", default=None,
+                     help="the focal node for `query node`")
+    qry.set_defaults(func=cmd_query)
 
     val = subs.add_parser(
         "validate",

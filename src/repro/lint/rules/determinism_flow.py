@@ -104,12 +104,22 @@ class DeterminismPolicy(TaintPolicy):
         return False
 
 
+#: Wire-encoding entry points of the query service: every byte a client
+#: sees passes through one of these, so they are durable-output sinks
+#: exactly like WAL records (docs/service.md pins byte-identical
+#: serving against the batch CLI).
+_SERVICE_ENCODERS = frozenset({"encode_response", "encode_error"})
+
+
 def _sink_call(call: ast.Call) -> Optional[str]:
     """The durable sink this call writes to, or ``None``."""
     func = call.func
     if not isinstance(func, ast.Attribute):
-        if isinstance(func, ast.Name) and func.id == "log_event":
-            return "event log"
+        if isinstance(func, ast.Name):
+            if func.id == "log_event":
+                return "event log"
+            if func.id in _SERVICE_ENCODERS:
+                return "service response"
         return None
     base = func.value
     base_name = (
@@ -122,6 +132,8 @@ def _sink_call(call: ast.Call) -> Optional[str]:
         return "WAL record"
     if func.attr == "log_event":
         return "event log"
+    if func.attr in _SERVICE_ENCODERS:
+        return "service response"
     return None
 
 
@@ -160,6 +172,13 @@ def check_determinism_flow(
                     continue
                 payload = list(node.args[:1] if sink == "checkpoint store key"
                                else node.args)
+                if sink == "service response":
+                    # The wire encoders take their payload (version,
+                    # stale, result) as keywords.
+                    payload += [
+                        kw.value for kw in node.keywords
+                        if kw.value is not None
+                    ]
                 for arg in payload:
                     if flow.expr_tainted(arg):
                         yield info.ctx.violation(

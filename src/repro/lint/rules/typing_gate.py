@@ -29,6 +29,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro/parallel/",
     "repro/resilience/",
     "repro/runtime/",
+    "repro/service/",
 )
 
 #: First-parameter names that never need an annotation in a method.

@@ -30,7 +30,14 @@ from repro.resilience.degrade import (
     run_guarded,
 )
 from repro.resilience.events import capture_events, log_event
-from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    SocketCutFault,
+    SocketFaultInjector,
+    SocketFaultPlan,
+)
 from repro.resilience.policy import (
     BudgetRunTimeout,
     Deadline,
@@ -52,6 +59,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",
+    "SocketCutFault",
+    "SocketFaultInjector",
+    "SocketFaultPlan",
     "BudgetRunTimeout",
     "Deadline",
     "ResilienceError",

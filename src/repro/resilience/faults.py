@@ -198,6 +198,137 @@ class DiskFaultPlan:
             raise ValueError("operation indices are 1-based and must be >= 1")
 
 
+class SocketCutFault(InjectedFault):
+    """An injected half-open socket: the sender stopped mid-payload.
+
+    Models a peer that vanished (NAT timeout, pulled cable, killed VM)
+    after a prefix of the bytes left: the write side is gone but the
+    connection was never properly closed.  Servers must survive the
+    resulting truncated request without wedging the accept loop.
+    """
+
+
+@dataclass(frozen=True)
+class SocketFaultPlan:
+    """A reproducible schedule of client-side socket misbehaviour.
+
+    Pure data, applied by :class:`SocketFaultInjector` to a client's
+    send path; two injectors built from the same plan emit identical
+    byte sequences with identical stalls.
+
+    Attributes
+    ----------
+    chunk_size:
+        Bytes per ``send`` call; ``0`` sends each payload whole.  Small
+        chunks model a slow client trickling a request line.
+    stall_s:
+        Injected pause between chunks, routed through the injector's
+        ``sleep`` hook so tests count stalls instead of waiting them.
+    cut_after_bytes:
+        Total bytes (across the injector's lifetime) after which the
+        connection goes half-open: the prefix is delivered, the write
+        side is shut down, and :class:`SocketCutFault` is raised.
+        ``None`` disables the cut.
+    """
+
+    chunk_size: int = 0
+    stall_s: float = 0.0
+    cut_after_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 0:
+            raise ValueError(
+                f"chunk_size must be >= 0, got {self.chunk_size}"
+            )
+        if self.stall_s < 0:
+            raise ValueError(f"stall_s must be >= 0, got {self.stall_s}")
+        if self.cut_after_bytes is not None and self.cut_after_bytes < 0:
+            raise ValueError(
+                f"cut_after_bytes must be >= 0, got {self.cut_after_bytes}"
+            )
+
+
+class SocketFaultInjector:
+    """Applies a :class:`SocketFaultPlan` to a client's send path.
+
+    Transport-agnostic: the caller supplies the raw ``send_bytes``
+    callable (and optionally a ``shutdown`` for the half-open cut), so
+    the same injector drives real sockets in the service fault suite
+    and in-memory transports in unit tests.  One injector counts bytes
+    across every send it mediates, like a single failing link would.
+    """
+
+    def __init__(
+        self,
+        plan: SocketFaultPlan,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.plan = plan
+        self.sent_bytes = 0
+        self.chunks = 0
+        self.stalls = 0
+        self.cut = False
+        self._sleep = time.sleep if sleep is None else sleep
+
+    def _chunked(self, data: bytes) -> Tuple[bytes, ...]:
+        size = self.plan.chunk_size
+        if size <= 0 or size >= len(data):
+            return (data,)
+        return tuple(
+            data[i:i + size] for i in range(0, len(data), size)
+        )
+
+    def send(
+        self,
+        send_bytes: Callable[[bytes], None],
+        data: bytes,
+        unit: str = "send",
+        shutdown: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Send ``data`` through the plan; returns bytes delivered.
+
+        Raises :class:`SocketCutFault` when the cumulative byte budget
+        runs out mid-payload — after delivering the surviving prefix
+        and half-closing via ``shutdown`` (when provided).
+        """
+        if self.cut:
+            raise SocketCutFault(
+                f"connection already half-open in {unit!r}"
+            )
+        delivered = 0
+        for index, chunk in enumerate(self._chunked(data)):
+            if index > 0 and self.plan.stall_s > 0:
+                self.stalls += 1
+                log_event(
+                    "fault.socket", fault="stall", unit=unit,
+                    delay=self.plan.stall_s,
+                )
+                self._sleep(self.plan.stall_s)
+            budget = self.plan.cut_after_bytes
+            if budget is not None and self.sent_bytes + len(chunk) > budget:
+                keep = max(0, budget - self.sent_bytes)
+                if keep:
+                    send_bytes(chunk[:keep])
+                    self.sent_bytes += keep
+                    delivered += keep
+                self.cut = True
+                if shutdown is not None:
+                    shutdown()
+                log_event(
+                    "fault.socket", fault="cut", unit=unit,
+                    delivered=self.sent_bytes,
+                )
+                raise SocketCutFault(
+                    f"injected half-open cut in {unit!r} after "
+                    f"{self.sent_bytes} byte(s)"
+                )
+            send_bytes(chunk)
+            self.chunks += 1
+            self.sent_bytes += len(chunk)
+            delivered += len(chunk)
+        return delivered
+
+
 class DiskFaultInjector:
     """Applies a :class:`DiskFaultPlan` to file writes and fsyncs.
 

@@ -13,6 +13,7 @@ format, the recovery procedure, and the failure-mode matrix.
 
 from repro.runtime.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.runtime.engine import (
+    AdvanceCallback,
     RuntimeConfig,
     RuntimeRecoveryError,
     RuntimeReport,
@@ -29,6 +30,7 @@ from repro.runtime.supervisor import (
 from repro.runtime.wal import WALError, WALRecord, WriteAheadLog
 
 __all__ = [
+    "AdvanceCallback",
     "CLOSED",
     "HALF_OPEN",
     "OPEN",

@@ -60,6 +60,11 @@ RUNTIME_SCHEMA_VERSION = 1
 #: One event as stored in WAL/checkpoint payloads.
 EventRow = List[Any]
 
+#: Called after every window close: ``(state_version, window)``.  The
+#: always-on service registers one to invalidate its version-keyed
+#: result cache exactly when the runtime advances (docs/service.md).
+AdvanceCallback = Callable[[int, "WindowResult"], None]
+
 
 class RuntimeRecoveryError(RuntimeError):
     """The WAL/checkpoint pair cannot reconstruct a consistent state."""
@@ -223,6 +228,18 @@ class StreamRuntime:
         Deterministic fault hooks: the first fails incremental repair
         attempts (exercising the breaker), the second fails whole
         window computations (exercising the supervisor).
+    on_advance:
+        Optional :data:`AdvanceCallback` invoked after every window
+        close with ``(state_version, window)`` — including windows
+        re-closed during WAL-suffix replay, so a subscriber attached
+        before recovery observes the same sequence an uninterrupted
+        run produces.
+
+    The :attr:`state_version` counter increments by exactly one per
+    closed window, is persisted in every checkpoint, and is restored by
+    recovery — so the version at any point of a recovered run equals
+    the version an uninterrupted run carries at the same stream
+    position (pinned by the chaos suite).
     """
 
     def __init__(
@@ -240,6 +257,7 @@ class StreamRuntime:
         chaos: Optional[ChaosHook] = None,
         repair_injector: Optional[FaultInjector] = None,
         window_injector: Optional[FaultInjector] = None,
+        on_advance: Optional[AdvanceCallback] = None,
     ) -> None:
         self.directory = Path(directory)
         self.config = config
@@ -247,6 +265,7 @@ class StreamRuntime:
         self._chaos = chaos if chaos is not None else _no_chaos
         self._repair_injector = repair_injector
         self._window_injector = window_injector
+        self.on_advance = on_advance
         self.guard = guard
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             seed=config.seed
@@ -262,6 +281,7 @@ class StreamRuntime:
         self._rows: List[EventRow] = []
         self.consumed = 0
         self.windows: List[WindowResult] = []
+        self.state_version = 0
         self._window_start = 0
         self._applied_seq = 0
         self._checkpoint_seq: Optional[int] = None
@@ -313,6 +333,12 @@ class StreamRuntime:
             ]
             self._window_start = (
                 self.windows[-1].end if self.windows else 0
+            )
+            # Checkpoints written before the version counter existed
+            # lack the field; the counter always equals the number of
+            # closed windows, so the fallback is exact, not a guess.
+            self.state_version = int(
+                payload.get("version", len(self.windows))
             )
             self.breaker.restore(payload["breaker"])
             self._applied_seq = best
@@ -409,6 +435,42 @@ class StreamRuntime:
             self._checkpoint()
 
     # ------------------------------------------------------------------
+    # Query-service surface
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Persist the current state if anything changed since the last
+        checkpoint.
+
+        Used by the query service's drain and shed paths: the WAL is
+        already ahead of every applied batch, so this only exists to
+        bound the next recovery's replay, never for correctness.
+        """
+        if self._checkpoint_seq != self._applied_seq:
+            self._checkpoint()
+
+    def latest_window(self) -> Optional[WindowResult]:
+        """The newest closed window, or ``None`` before the first close."""
+        return self.windows[-1] if self.windows else None
+
+    def window_snapshots(self, index: int) -> Tuple[Graph, Graph]:
+        """The ``(G_t1, G_t2)`` snapshot pair of closed window ``index``.
+
+        Materialised from the applied event prefix, so the pair is a
+        pure function of checkpointed state — two runtimes at the same
+        state version return identical snapshots.
+        """
+        if not 0 <= index < len(self.windows):
+            raise IndexError(
+                f"window {index} does not exist "
+                f"({len(self.windows)} closed)"
+            )
+        window = self.windows[index]
+        return (
+            _materialise(self._rows[:window.start]),
+            _materialise(self._rows[:window.end]),
+        )
+
+    # ------------------------------------------------------------------
     # Windows
     # ------------------------------------------------------------------
     def _close_window(self, end: int) -> None:
@@ -428,17 +490,19 @@ class StreamRuntime:
                 self.breaker.record_success()
             else:
                 self.breaker.record_failure()
-        self.windows.append(
-            WindowResult(
-                index=index, start=start, end=end,
-                engine=engine, pairs=tuple(pairs),
-            )
+        window = WindowResult(
+            index=index, start=start, end=end,
+            engine=engine, pairs=tuple(pairs),
         )
+        self.windows.append(window)
         self._window_start = end
+        self.state_version += 1
         log_event(
             "runtime.window_closed", window=index, start=start, end=end,
-            engine=engine, pairs=len(pairs),
+            engine=engine, pairs=len(pairs), version=self.state_version,
         )
+        if self.on_advance is not None:
+            self.on_advance(self.state_version, window)
 
     def _compute_window(
         self, index: int, g1: Graph, g2: Graph, try_direct: bool
@@ -529,6 +593,7 @@ class StreamRuntime:
             "schema": RUNTIME_SCHEMA_VERSION,
             "seq": seq,
             "consumed": self.consumed,
+            "version": self.state_version,
             "events": [list(row) for row in self._rows],
             "windows": [w.to_payload() for w in self.windows],
             "breaker": self.breaker.to_payload(),

@@ -1,0 +1,66 @@
+"""Always-on convergence query service over the streaming runtime.
+
+The durability half of the online story lives in :mod:`repro.runtime`
+(WAL, checkpoints, kill-9 recovery); this package is the serving half:
+a long-running asyncio daemon (``repro serve``) that embeds
+:class:`~repro.runtime.engine.StreamRuntime` as its state engine and
+answers global top-k and per-node convergence queries under
+production-grade overload rules — bounded admission with deadline-aware
+shedding, request coalescing, a version-keyed result cache, degraded
+(stale-but-versioned) serving behind a circuit breaker, and graceful
+drain.  See ``docs/service.md`` for the protocol and the degradation
+ladder.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionReject,
+    ResultCache,
+    ServiceCounters,
+    Ticket,
+)
+from repro.service.answers import (
+    compute_answer,
+    node_answer,
+    topk_answer,
+    validate_query_args,
+)
+from repro.service.client import ServiceClient, ServiceClientError, one_shot
+from repro.service.protocol import (
+    CONTROL_VERBS,
+    ERROR_CODES,
+    QUERY_VERBS,
+    ProtocolError,
+    Request,
+    canonical_json,
+    encode_error,
+    encode_response,
+    parse_request,
+)
+from repro.service.server import ConvergenceService, ServedAnswer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionReject",
+    "CONTROL_VERBS",
+    "ConvergenceService",
+    "ERROR_CODES",
+    "ProtocolError",
+    "QUERY_VERBS",
+    "Request",
+    "ResultCache",
+    "ServedAnswer",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceCounters",
+    "Ticket",
+    "canonical_json",
+    "compute_answer",
+    "encode_error",
+    "encode_response",
+    "node_answer",
+    "one_shot",
+    "parse_request",
+    "topk_answer",
+    "validate_query_args",
+]

@@ -1,0 +1,287 @@
+"""Admission control for the query service: bound, shed, coalesce, cache.
+
+Everything between "a request line arrived" and "a computation may run"
+lives here, so the service's overload behaviour is a property of one
+small module:
+
+* **Bounded queue** — at most ``capacity`` requests wait at once; the
+  next arrival is rejected with :data:`~repro.service.protocol.
+  E_OVER_CAPACITY` *at submit time*, before it allocates anything.
+* **Deadline-aware shedding** — a request still queued when its
+  ``deadline_ms`` budget elapses is rejected with
+  :data:`~repro.service.protocol.E_OVER_DEADLINE` the moment the worker
+  reaches it, never computed.  The clock is injectable (tests advance a
+  fake; production uses :func:`repro.resilience.clock.monotonic`) and is
+  never part of any payload.
+* **Coalescing** — a data query identical (same verb, same canonical
+  args) to one already admitted attaches to the in-flight computation's
+  future without occupying a queue slot.
+* **Version-keyed result cache** — answers are cached under
+  ``(state_version, verb, canonical args)`` and the whole cache is
+  dropped exactly when the runtime closes a window (the server wires
+  :meth:`ResultCache.invalidate` to the runtime's ``on_advance``).
+* **Counters, not clocks** — every decision increments a counter on
+  :class:`ServiceCounters`; the ``health`` verb serves those counters
+  verbatim, so the health payload is deterministic under a fixed
+  request sequence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from repro.resilience.clock import monotonic
+from repro.resilience.events import log_event
+from repro.service.protocol import (
+    E_DRAINING,
+    E_OVER_CAPACITY,
+    E_OVER_DEADLINE,
+    E_SHED,
+    QUERY_VERBS,
+    Request,
+)
+
+#: The coalescing/cache identity of a data query.
+QueryKey = Tuple[str, str]
+
+
+class AdmissionReject(Exception):
+    """A request turned away before any computation ran."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic decision counters; the ``health`` payload serves these.
+
+    Counters only — no timestamps, no durations — so the payload stays
+    deterministic (R012) under a fixed request sequence.
+    """
+
+    admitted: int = 0
+    served: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rejected_bad_request: int = 0
+    rejected_over_capacity: int = 0
+    rejected_over_deadline: int = 0
+    rejected_draining: int = 0
+    shed: int = 0
+    advances: int = 0
+    requests_since_advance: int = 0
+
+    def to_payload(self) -> Dict[str, int]:
+        """Sorted-key snapshot for the ``health`` verb."""
+        return {key: int(value) for key, value in sorted(vars(self).items())}
+
+
+@dataclass
+class Ticket:
+    """One admitted request waiting for (or undergoing) computation."""
+
+    request: Request
+    future: "asyncio.Future[Any]"
+    expires_at: Optional[float] = None
+
+    @property
+    def key(self) -> QueryKey:
+        return self.request.key
+
+
+@dataclass
+class ResultCache:
+    """Version-keyed answer cache.
+
+    Entries are valid for exactly one state version; the server calls
+    :meth:`invalidate` from the runtime's ``on_advance`` callback, so
+    the cache can never serve an answer from a superseded version.
+    """
+
+    counters: ServiceCounters
+    version: int = -1
+    _entries: Dict[QueryKey, Any] = field(default_factory=dict)
+
+    def invalidate(self, version: int) -> None:
+        """Advance to ``version``, dropping every cached answer."""
+        if version != self.version:
+            self._entries.clear()
+            self.version = version
+
+    def get(self, version: int, key: QueryKey) -> Optional[Any]:
+        if version == self.version and key in self._entries:
+            self.counters.cache_hits += 1
+            return self._entries[key]
+        self.counters.cache_misses += 1
+        return None
+
+    def put(self, version: int, key: QueryKey, result: Any) -> None:
+        if version != self.version:
+            self.invalidate(version)
+        self._entries[key] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class AdmissionController:
+    """The bounded, deadline-aware, coalescing admission queue.
+
+    ``submit`` either returns a future that will carry the answer (or a
+    structured rejection) or raises :class:`AdmissionReject`
+    synchronously — over-capacity and draining rejections never touch
+    the queue.  A single worker drains tickets via :meth:`next_ticket`
+    and settles them with :meth:`resolve` / :meth:`fail`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        clock: Callable[[], float] = monotonic,
+        counters: Optional[ServiceCounters] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self.counters = counters if counters is not None else ServiceCounters()
+        self._queue: Deque[Ticket] = deque()
+        self._inflight: Dict[QueryKey, "asyncio.Future[Any]"] = {}
+        self._wakeup = asyncio.Event()
+        self._draining = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (excludes coalesced attachments)."""
+        return len(self._queue)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def submit(self, request: Request) -> "asyncio.Future[Any]":
+        """Admit, coalesce, or reject one parsed request.
+
+        Raises :class:`AdmissionReject` (``draining`` /
+        ``over_capacity``) without enqueuing anything; otherwise returns
+        the future that will carry the request's outcome.
+        """
+        if self._draining:
+            self.counters.rejected_draining += 1
+            raise AdmissionReject(
+                E_DRAINING, "service is draining; no new requests"
+            )
+        if request.verb in QUERY_VERBS:
+            shared = self._inflight.get(request.key)
+            if shared is not None and not shared.done():
+                self.counters.coalesced += 1
+                return shared
+        if len(self._queue) >= self.capacity:
+            self.counters.rejected_over_capacity += 1
+            raise AdmissionReject(
+                E_OVER_CAPACITY,
+                f"admission queue is full ({self.capacity} waiting)",
+            )
+        future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        expires_at = (
+            None
+            if request.deadline_ms is None
+            else self.clock() + request.deadline_ms / 1000.0
+        )
+        ticket = Ticket(request=request, future=future, expires_at=expires_at)
+        self._queue.append(ticket)
+        if request.verb in QUERY_VERBS:
+            self._inflight[request.key] = future
+        self.counters.admitted += 1
+        self._wakeup.set()
+        return future
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    async def next_ticket(self) -> Optional[Ticket]:
+        """The next live ticket, or ``None`` once closed and drained.
+
+        Tickets whose deadline elapsed while queued are settled with
+        ``over_deadline`` here — the caller only ever sees work that is
+        still worth doing.
+        """
+        while True:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            ticket = self._queue.popleft()
+            if (
+                ticket.expires_at is not None
+                and self.clock() >= ticket.expires_at
+            ):
+                self.counters.rejected_over_deadline += 1
+                self.fail(
+                    ticket,
+                    E_OVER_DEADLINE,
+                    "deadline elapsed while queued; not computed",
+                )
+                continue
+            return ticket
+
+    def resolve(self, ticket: Ticket, result: Any) -> None:
+        """Settle a ticket (and every coalesced follower) with a result."""
+        self._settle(ticket)
+        if not ticket.future.done():
+            ticket.future.set_result(result)
+        self.counters.served += 1
+
+    def fail(self, ticket: Ticket, code: str, message: str) -> None:
+        """Settle a ticket with a structured rejection."""
+        self._settle(ticket)
+        if not ticket.future.done():
+            ticket.future.set_exception(AdmissionReject(code, message))
+
+    def _settle(self, ticket: Ticket) -> None:
+        if self._inflight.get(ticket.key) is ticket.future:
+            del self._inflight[ticket.key]
+
+    # ------------------------------------------------------------------
+    # Overload / shutdown transitions
+    # ------------------------------------------------------------------
+    def shed(self, reason: str) -> int:
+        """Reject every queued ticket (resource breach); returns count.
+
+        In-flight work is untouched — shedding reclaims the queue, it
+        does not abandon computations already running.
+        """
+        dropped = 0
+        while self._queue:
+            ticket = self._queue.popleft()
+            self.fail(ticket, E_SHED, f"queue shed: {reason}")
+            dropped += 1
+        self.counters.shed += dropped
+        if dropped:
+            log_event("service.shed", reason=reason, dropped=dropped)
+        return dropped
+
+    def begin_drain(self) -> None:
+        """Stop admitting; queued and in-flight requests still finish."""
+        if not self._draining:
+            self._draining = True
+            log_event("service.draining", depth=len(self._queue))
+
+    def close(self) -> None:
+        """Release the worker once the queue empties."""
+        self._closed = True
+        self._wakeup.set()

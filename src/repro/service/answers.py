@@ -1,0 +1,183 @@
+"""Pure answer computation for the query service's data verbs.
+
+Every function here is a pure function of ``(checkpointed runtime
+state, validated args)`` — no clocks, no RNG, no service counters — so
+the served answer at state version ``V`` is byte-identical to what the
+batch CLI (``repro query``) computes on the same recovered state.  The
+server and the CLI both call these; the differential oracle test pins
+the equality.
+
+Two data verbs:
+
+``topk``
+    Global top-k converging pairs across every closed window: each
+    canonical pair keeps its best recorded Δ (ties resolved toward the
+    most recent window), then pairs are ranked by the library's
+    standard ``(−Δ, repr)`` key.
+
+``node``
+    "Who is converging toward ``u``?" on the latest closed window's
+    snapshot pair, computed fresh through the incremental delta-BFS
+    substrate (one t1 traversal + one repair — 2 SSSPs, charged to an
+    :class:`~repro.core.budget.SPBudget` like every other traversal in
+    the system).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.budget import SPBudget
+from repro.core.pairs import ConvergingPair, Node, Pair
+from repro.graph.csr import UNREACHED
+from repro.graph.incremental import SnapshotDelta, levels_pair_indexed
+from repro.graph.validation import repair_snapshot_pair
+from repro.runtime.engine import StreamRuntime
+from repro.service.protocol import (
+    E_BAD_REQUEST,
+    QUERY_VERBS,
+    ProtocolError,
+)
+
+#: Args accepted per data verb (anything else is a bad request).
+_VERB_FIELDS: Dict[str, frozenset] = {
+    "topk": frozenset({"k"}),
+    "node": frozenset({"u", "k"}),
+}
+
+
+def validate_query_args(verb: str, args: Mapping[str, Any]) -> None:
+    """Reject malformed data-verb args with :data:`E_BAD_REQUEST`.
+
+    Validation happens at admission time, before the request occupies a
+    queue slot — a garbage request must never cost a traversal.
+    """
+    if verb not in QUERY_VERBS:
+        raise ProtocolError(E_BAD_REQUEST, f"{verb!r} is not a data verb")
+    unknown = sorted(set(args) - _VERB_FIELDS[verb])
+    if unknown:
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            f"verb {verb!r} does not accept arg(s): {', '.join(unknown)}",
+        )
+    k = args.get("k")
+    if k is not None and (
+        isinstance(k, bool) or not isinstance(k, int) or k < 1
+    ):
+        raise ProtocolError(
+            E_BAD_REQUEST, f"'k' must be a positive integer, got {k!r}"
+        )
+    if verb == "node":
+        if "u" not in args:
+            raise ProtocolError(E_BAD_REQUEST, "verb 'node' requires 'u'")
+        u = args["u"]
+        if isinstance(u, bool) or not isinstance(u, (int, str)):
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                f"'u' must be an integer or string node id, got {u!r}",
+            )
+
+
+def compute_answer(
+    runtime: StreamRuntime, verb: str, args: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """The canonical answer object for one validated data query."""
+    validate_query_args(verb, args)
+    if verb == "topk":
+        return topk_answer(runtime, k=args.get("k"))
+    return node_answer(runtime, args["u"], k=args.get("k"))
+
+
+def _pair_row(pair: ConvergingPair) -> List[Any]:
+    return [pair.u, pair.v, pair.d1, pair.d2, pair.delta]
+
+
+def topk_answer(
+    runtime: StreamRuntime, k: Optional[int] = None
+) -> Dict[str, Any]:
+    """Global top-k converging pairs over every closed window."""
+    if k is None:
+        k = runtime.config.k
+    best: Dict[Pair, Tuple[float, int, ConvergingPair]] = {}
+    for window in runtime.windows:
+        for pair in window.pairs:
+            current = best.get(pair.pair)
+            if (
+                current is None
+                or pair.delta > current[0]
+                or (pair.delta == current[0] and window.index >= current[1])
+            ):
+                best[pair.pair] = (pair.delta, window.index, pair)
+    ranked = sorted(
+        (entry[2] for entry in best.values()),
+        key=ConvergingPair.sort_key,
+    )
+    return {
+        "k": k,
+        "consumed": runtime.consumed,
+        "windows": len(runtime.windows),
+        "pairs": [_pair_row(pair) for pair in ranked[:k]],
+    }
+
+
+def node_answer(
+    runtime: StreamRuntime, u: Node, k: Optional[int] = None
+) -> Dict[str, Any]:
+    """Top-k partners converging toward ``u`` on the latest window.
+
+    Computes Δ(u, ·) fresh from the latest closed window's snapshot
+    pair through one t1 traversal plus one delta-BFS repair.  The later
+    snapshot is first projected onto the nearest valid superset of the
+    earlier one (a no-op copy for well-formed windows), so the answer
+    stays deterministic whatever the stream did.
+    """
+    if k is None:
+        k = runtime.config.k
+    window = runtime.latest_window()
+    empty: Dict[str, Any] = {
+        "u": u,
+        "k": k,
+        "present": False,
+        "window": None,
+        "partners": [],
+    }
+    if window is None:
+        return empty
+    empty["window"] = {
+        "index": window.index, "start": window.start, "end": window.end,
+    }
+    g1, g2 = runtime.window_snapshots(window.index)
+    g2_safe, _repair = repair_snapshot_pair(g1, g2)
+    delta = SnapshotDelta.from_graphs(g1, g2_safe)
+    source_idx = delta.source_index(u)
+    if source_idx is None:
+        return empty
+    # One full t1 BFS plus one repair = the pair's two SSSPs; charged
+    # like every traversal outside the engine (docs/budget-model.md).
+    budget = SPBudget(limit=2)
+    budget.charge("service", "g1", 1)
+    budget.charge("service", "g2", 1)
+    levels1, levels2 = levels_pair_indexed(delta, source_idx)
+    aligned2 = levels2[delta.mapping]
+    partners: List[ConvergingPair] = []
+    for idx, node in enumerate(delta.csr1.nodes):
+        if idx == source_idx:
+            continue
+        d1 = int(levels1[idx])
+        if d1 == UNREACHED:
+            continue
+        d2 = int(aligned2[idx])
+        if d2 == UNREACHED or d1 - d2 <= 0:
+            continue
+        partners.append(ConvergingPair(u, node, float(d1), float(d2)))
+    partners.sort(key=lambda p: (-p.delta, repr(p.v)))
+    return {
+        "u": u,
+        "k": k,
+        "present": True,
+        "window": empty["window"],
+        "sssp": budget.spent,
+        "partners": [
+            [p.v, p.d1, p.d2, p.delta] for p in partners[:k]
+        ],
+    }

@@ -1,0 +1,128 @@
+"""A small blocking client for the query service.
+
+Used by the CLI (``repro serve --status``) and by the test suites; the
+service itself never imports this module.  One request per line, one
+response per line — see :mod:`repro.service.protocol`.
+
+:class:`ServiceClient` also exposes the raw send/receive surface the
+fault-injection tests need (partial writes, half-open shutdowns), so
+socket misuse scenarios are driven through the same code path a real
+client would use.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.service.protocol import canonical_json
+
+#: ``("unix", path)`` or ``("tcp", host, port)``.
+Address = Union[Tuple[str, str], Tuple[str, str, int]]
+
+
+class ServiceClientError(RuntimeError):
+    """The service hung up or answered with something unparseable."""
+
+
+def _connect(address: Address, timeout: Optional[float]) -> socket.socket:
+    if address[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address[1])
+        return sock
+    sock = socket.create_connection(
+        (address[1], address[2]), timeout=timeout
+    )
+    return sock
+
+
+class ServiceClient:
+    """One persistent connection to a running service."""
+
+    def __init__(self, address: Address, timeout: Optional[float] = 10.0):
+        self.address = address
+        self._sock = _connect(address, timeout)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # High-level request/response
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        verb: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        request_id: Optional[Any] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Send one request and return the decoded response object."""
+        payload: Dict[str, Any] = {"verb": verb}
+        if args:
+            payload["args"] = args
+        if request_id is not None:
+            payload["id"] = request_id
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        self.send_line(canonical_json(payload))
+        return self.recv_response()
+
+    def recv_response(self) -> Dict[str, Any]:
+        """Read and decode the next response line."""
+        import json
+
+        line = self.recv_line()
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceClientError(
+                f"undecodable response line: {line!r}"
+            ) from exc
+        if not isinstance(response, dict):
+            raise ServiceClientError(f"non-object response: {response!r}")
+        return response
+
+    # ------------------------------------------------------------------
+    # Raw surface (fault-injection tests drive these directly)
+    # ------------------------------------------------------------------
+    def send_line(self, line: str) -> None:
+        self.send_bytes(line.encode("utf-8") + b"\n")
+
+    def send_bytes(self, data: bytes) -> None:
+        """Send raw bytes — possibly a *partial* request line."""
+        self._sock.sendall(data)
+
+    def recv_line(self) -> str:
+        raw = self._file.readline()
+        if not raw:
+            raise ServiceClientError("service closed the connection")
+        return raw.decode("utf-8").rstrip("\n")
+
+    def shutdown_write(self) -> None:
+        """Half-close: no more sends, reads stay open (fault tests)."""
+        self._sock.shutdown(socket.SHUT_WR)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def one_shot(
+    address: Address,
+    verb: str,
+    args: Optional[Dict[str, Any]] = None,
+    *,
+    deadline_ms: Optional[int] = None,
+    timeout: Optional[float] = 10.0,
+) -> Dict[str, Any]:
+    """Connect, send one request, return the response, disconnect."""
+    with ServiceClient(address, timeout=timeout) as client:
+        return client.request(verb, args, deadline_ms=deadline_ms)

@@ -1,0 +1,480 @@
+"""The always-on convergence query service.
+
+:class:`ConvergenceService` embeds a
+:class:`~repro.runtime.engine.StreamRuntime` as its state engine and
+serves line-delimited JSON queries (:mod:`repro.service.protocol`) over
+asyncio streams — TCP or a UNIX socket.  The request path is::
+
+    line -> parse -> validate -> admission (bound / coalesce / deadline)
+         -> version-keyed cache -> compute (answers.py) -> respond
+
+Robustness properties, each pinned by tests:
+
+* **Admission before compute** — malformed, over-capacity, and
+  over-deadline requests are rejected with distinct structured error
+  codes without ever touching the runtime (``tests/test_service_admission``).
+* **Version-keyed serving** — every data answer is computed at (and
+  stamped with) the runtime's ``state_version``; the cache is dropped by
+  the runtime's ``on_advance`` callback the instant a window closes, so
+  a served answer is byte-identical to the batch CLI (``repro query``)
+  at the same version (``tests/test_service_oracle``).
+* **Degraded mode** — advancement runs behind a dedicated
+  :class:`~repro.runtime.breaker.CircuitBreaker` under the service's
+  :class:`~repro.runtime.supervisor.Supervisor`; while the breaker is
+  not closed, queries keep being answered from the last good version
+  with ``stale: true`` on the envelope.
+* **Shed before checkpoint** — a :class:`~repro.runtime.guards.
+  ResourceGuard` breach rejects the whole queue (``shed``) and then
+  flushes runtime state, mirroring the batch runtime's
+  checkpoint-and-shed contract.
+* **Graceful drain** — SIGTERM/SIGINT stop admission (``draining``),
+  let queued and in-flight requests finish, flush WAL/checkpoint state,
+  and only then close the listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.resilience.clock import monotonic
+from repro.resilience.events import log_event
+from repro.runtime.breaker import CLOSED, CircuitBreaker
+from repro.runtime.engine import StreamRuntime, WindowResult
+from repro.runtime.guards import ResourceGuard
+from repro.runtime.supervisor import Heartbeat, Supervisor, SupervisorGivingUp
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionReject,
+    ResultCache,
+    ServiceCounters,
+    Ticket,
+)
+from repro.service.answers import compute_answer, validate_query_args
+from repro.service.protocol import (
+    E_ADVANCE_FAILED,
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_SHED,
+    QUERY_VERBS,
+    ProtocolError,
+    Request,
+    canonical_json,
+    encode_error,
+    encode_response,
+    parse_request,
+)
+
+#: ``("unix", path)`` or ``("tcp", host, port)``.
+Address = Union[Tuple[str, str], Tuple[str, str, int]]
+
+ChaosHook = Callable[[str], None]
+
+
+def _no_chaos(point: str) -> None:
+    """The production chaos hook: nothing ever fires."""
+
+
+@dataclass(frozen=True)
+class ServedAnswer:
+    """One settled data/control answer: the response envelope's payload."""
+
+    version: int
+    stale: bool
+    result: Any
+
+
+class ConvergenceService:
+    """Admission-controlled query serving over an embedded runtime.
+
+    Parameters
+    ----------
+    runtime:
+        The (already recovered) state engine.  The service takes over
+        its ``on_advance`` slot to invalidate the result cache.
+    capacity:
+        Admission queue bound; arrival ``capacity + 1`` is rejected.
+    advance_batches:
+        Stream batches ingested per ``advance`` request (bounded so one
+        control request cannot monopolise the worker).
+    breaker:
+        The *advancement* breaker (distinct from the runtime's repair
+        breaker): failed ``advance`` requests trip it, and while it is
+        not closed every query answer carries ``stale: true``.
+    supervisor:
+        Lifetime restart budget for advancement attempts.
+    guard:
+        Optional resource guard polled per request; a breach sheds the
+        queue and then checkpoints.
+    clock:
+        Injectable monotonic clock for deadline accounting (never part
+        of any payload).
+    chaos:
+        Injection-point hook (``service.request.mid``); the chaos suite
+        SIGKILLs there.
+    """
+
+    def __init__(
+        self,
+        runtime: StreamRuntime,
+        *,
+        capacity: int = 64,
+        advance_batches: int = 1,
+        breaker: Optional[CircuitBreaker] = None,
+        supervisor: Optional[Supervisor] = None,
+        guard: Optional[ResourceGuard] = None,
+        clock: Callable[[], float] = monotonic,
+        chaos: Optional[ChaosHook] = None,
+    ) -> None:
+        if advance_batches < 1:
+            raise ValueError(
+                f"advance_batches must be >= 1, got {advance_batches}"
+            )
+        self.runtime = runtime
+        self.advance_batches = advance_batches
+        self.counters = ServiceCounters()
+        self.cache = ResultCache(self.counters)
+        self.controller = AdmissionController(
+            capacity, clock=clock, counters=self.counters
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            seed=runtime.config.seed + 1
+        )
+        self.supervisor = supervisor if supervisor is not None else Supervisor(
+            max_restarts=1
+        )
+        self.guard = guard
+        self.heartbeat = Heartbeat("service.advance", clock=clock)
+        self._chaos = chaos if chaos is not None else _no_chaos
+        self._worker_task: Optional["asyncio.Task[None]"] = None
+        self._drain_requested = asyncio.Event()
+        runtime.on_advance = self._on_advance
+
+    # ------------------------------------------------------------------
+    # Runtime hook
+    # ------------------------------------------------------------------
+    def _on_advance(self, version: int, window: WindowResult) -> None:
+        """The runtime closed a window: drop every cached answer."""
+        self.cache.invalidate(version)
+        self.counters.advances += 1
+        self.counters.requests_since_advance = 0
+
+    # ------------------------------------------------------------------
+    # Request intake (one call per request line)
+    # ------------------------------------------------------------------
+    async def handle_line(self, line: str) -> str:
+        """Parse, admit, await, and encode one request line."""
+        try:
+            request = parse_request(line)
+            if request.verb in QUERY_VERBS:
+                validate_query_args(request.verb, request.args)
+            elif request.verb == "advance":
+                _validate_advance_args(request.args)
+            elif request.args:
+                raise ProtocolError(
+                    E_BAD_REQUEST,
+                    f"verb {request.verb!r} takes no args",
+                )
+        except ProtocolError as exc:
+            self.counters.rejected_bad_request += 1
+            request_id = _request_id_of(line)
+            return encode_error(request_id, exc.code, str(exc))
+        try:
+            future = self.controller.submit(request)
+        except AdmissionReject as exc:
+            return encode_error(request.request_id, exc.code, str(exc))
+        try:
+            # Shield: a coalesced future may be shared with other
+            # connections — one client hanging up must not cancel it.
+            answer = await asyncio.shield(future)
+        except AdmissionReject as exc:
+            return encode_error(request.request_id, exc.code, str(exc))
+        return encode_response(
+            request.request_id,
+            version=answer.version,
+            stale=answer.stale,
+            result=answer.result,
+        )
+
+    # ------------------------------------------------------------------
+    # The worker (single consumer of the admission queue)
+    # ------------------------------------------------------------------
+    def start_worker(self) -> "asyncio.Task[None]":
+        """Start the queue consumer (idempotent)."""
+        if self._worker_task is None or self._worker_task.done():
+            self._worker_task = asyncio.get_running_loop().create_task(
+                self._worker()
+            )
+        return self._worker_task
+
+    async def _worker(self) -> None:
+        while True:
+            ticket = await self.controller.next_ticket()
+            if ticket is None:
+                return
+            self._handle_ticket(ticket)
+            # Yield so connection coroutines can flush settled answers
+            # before the next computation starts.
+            await asyncio.sleep(0)
+
+    def _handle_ticket(self, ticket: Ticket) -> None:
+        if self.guard is not None and self.guard.check() is not None:
+            # Shed the queue first, then persist: the guard fired
+            # because resources are tight — reclaim them before doing
+            # checkpoint work (mirrors the runtime's shed contract).
+            breached = self.guard.breached
+            self.controller.fail(
+                ticket, E_SHED, f"queue shed: {breached}"
+            )
+            self.counters.shed += 1
+            self.controller.shed(str(breached))
+            self.runtime.flush()
+            return
+        self._chaos("service.request.mid")
+        verb = ticket.request.verb
+        try:
+            if verb in QUERY_VERBS:
+                self._serve_query(ticket)
+            elif verb == "advance":
+                self._serve_advance(ticket)
+            else:
+                self._serve_health(ticket)
+        except ProtocolError as exc:
+            self.counters.rejected_bad_request += 1
+            self.controller.fail(ticket, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the service must outlive
+            # any single request; the failure is reported to the client
+            # and audited, never swallowed silently.
+            log_event(
+                "service.request_failed",
+                verb=verb,
+                error=type(exc).__name__,
+            )
+            self.controller.fail(
+                ticket, E_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _serve_query(self, ticket: Ticket) -> None:
+        version = self.runtime.state_version
+        result = self.cache.get(version, ticket.key)
+        if result is None:
+            result = compute_answer(
+                self.runtime, ticket.request.verb, ticket.request.args
+            )
+            self.cache.put(version, ticket.key, result)
+        self.counters.requests_since_advance += 1
+        self.controller.resolve(
+            ticket,
+            ServedAnswer(version=version, stale=self.stale, result=result),
+        )
+
+    def _serve_advance(self, ticket: Ticket) -> None:
+        batches = int(ticket.request.args.get("batches", self.advance_batches))
+        if not self.breaker.allow():
+            self.controller.fail(
+                ticket,
+                E_ADVANCE_FAILED,
+                "advancement breaker is open; serving stale answers",
+            )
+            return
+        try:
+            report = self.supervisor.run(
+                lambda: self.runtime.run(max_batches=batches),
+                unit="service.advance",
+            )
+        except SupervisorGivingUp as exc:
+            self.breaker.record_failure()
+            log_event(
+                "service.advance_failed",
+                restarts=exc.restarts,
+                error=type(exc.last_error).__name__,
+            )
+            self.controller.fail(ticket, E_ADVANCE_FAILED, str(exc))
+            return
+        self.breaker.record_success()
+        self.heartbeat.beat()
+        self.counters.requests_since_advance = 0
+        self.controller.resolve(
+            ticket,
+            ServedAnswer(
+                version=self.runtime.state_version,
+                stale=self.stale,
+                result={
+                    "batches": batches,
+                    "consumed": self.runtime.consumed,
+                    "status": report.status,
+                    "windows": len(self.runtime.windows),
+                },
+            ),
+        )
+
+    def _serve_health(self, ticket: Ticket) -> None:
+        self.controller.resolve(
+            ticket,
+            ServedAnswer(
+                version=self.runtime.state_version,
+                stale=self.stale,
+                result=self.health_payload(),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """Whether answers are degraded (advancement breaker not closed)."""
+        return self.breaker.state != CLOSED
+
+    def health_payload(self) -> Dict[str, Any]:
+        """Deterministic health snapshot: counters and states only.
+
+        No wall-clock values appear here (R012): "heartbeat age" is
+        expressed as requests served since the last successful advance,
+        the service's natural clock.
+        """
+        return {
+            "breaker": {
+                "advance": self.breaker.state,
+                "engine": self.runtime.breaker.state,
+            },
+            "consumed": self.runtime.consumed,
+            "counters": self.counters.to_payload(),
+            "draining": self.controller.draining,
+            "heartbeat": {
+                "advances": self.heartbeat.beats,
+                "requests_since_advance": (
+                    self.counters.requests_since_advance
+                ),
+            },
+            "queue": {
+                "capacity": self.controller.capacity,
+                "depth": self.controller.depth,
+            },
+            "stale": self.stale,
+            "version": self.runtime.state_version,
+            "windows": len(self.runtime.windows),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (signal-handler safe)."""
+        self.controller.begin_drain()
+        self._drain_requested.set()
+
+    async def drain(self) -> None:
+        """Finish queued work, stop the worker, and flush durable state."""
+        self.controller.begin_drain()
+        self.controller.close()
+        if self._worker_task is not None:
+            await self._worker_task
+        self.runtime.flush()
+        log_event(
+            "service.drained",
+            served=self.counters.served,
+            version=self.runtime.state_version,
+        )
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                response = await self.handle_line(line)
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # half-open / reset sockets are the client's problem
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def serve(
+        self,
+        address: Address,
+        *,
+        ready: Optional[Callable[[Address], None]] = None,
+        install_signal_handlers: bool = True,
+    ) -> None:
+        """Listen on ``address`` until a drain is requested.
+
+        ``address`` is ``("unix", path)`` or ``("tcp", host, port)``
+        (port 0 binds an ephemeral port; ``ready`` receives the
+        *resolved* address once the listener is up).
+        """
+        if address[0] == "unix":
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=address[1]
+            )
+            bound: Address = address
+        else:
+            server = await asyncio.start_server(
+                self._handle_connection, host=address[1], port=address[2]
+            )
+            sock = server.sockets[0].getsockname()
+            bound = ("tcp", sock[0], sock[1])
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_drain)
+                except (NotImplementedError, RuntimeError):
+                    # Platforms / nested loops without signal support
+                    # still drain via request_drain() or ``drain()``.
+                    break
+        self.start_worker()
+        log_event("service.listening", address=canonical_json(list(bound)))
+        if ready is not None:
+            ready(bound)
+        try:
+            await self._drain_requested.wait()
+            await self.drain()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+
+def _request_id_of(line: str) -> Any:
+    """Best-effort ``id`` echo for errors on unparseable requests."""
+    import json
+
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if isinstance(payload, dict):
+        return payload.get("id")
+    return None
+
+
+def _validate_advance_args(args: Dict[str, Any]) -> None:
+    unknown = sorted(set(args) - {"batches"})
+    if unknown:
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            f"verb 'advance' does not accept arg(s): {', '.join(unknown)}",
+        )
+    batches = args.get("batches")
+    if batches is not None and (
+        isinstance(batches, bool) or not isinstance(batches, int)
+        or batches < 1
+    ):
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            f"'batches' must be a positive integer, got {batches!r}",
+        )

@@ -468,6 +468,33 @@ def test_r012_ranked_output_from_unseeded_rng():
     assert [v.code for v in found] == ["R012"]
 
 
+def test_r012_service_response_is_a_sink():
+    found = lint_one("""
+        from repro.service.protocol import encode_response
+
+        def respond(request_id, version, answers):
+            pairs = list(answers.values())
+            return encode_response(
+                request_id, version=version, stale=False, result=pairs,
+            )
+    """, "repro/service/handlers.py", "R012")
+    assert [v.code for v in found] == ["R012"]
+    assert "service response" in found[0].message
+
+
+def test_r012_sorted_service_response_passes():
+    found = lint_one("""
+        from repro.service.protocol import encode_response
+
+        def respond(request_id, version, answers):
+            pairs = sorted(answers.values())
+            return encode_response(
+                request_id, version=version, stale=False, result=pairs,
+            )
+    """, "repro/service/handlers.py", "R012")
+    assert found == []
+
+
 # ----------------------------------------------------------------------
 # R013 — cross-process capture
 # ----------------------------------------------------------------------

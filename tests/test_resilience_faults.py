@@ -9,6 +9,10 @@ from repro.resilience import (
     FaultPlan,
     InjectedFault,
     RetryPolicy,
+    SocketCutFault,
+    SocketFaultInjector,
+    SocketFaultPlan,
+    capture_events,
     run_guarded,
 )
 from repro.selection import get_selector
@@ -274,3 +278,89 @@ class TestMonitorDegradation:
         reports = fresh.run([0.5, 1.0])
         assert counter.calls == 1
         assert not reports[0].resumed
+
+
+class TestSocketFaultInjector:
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            SocketFaultPlan(chunk_size=-1)
+        with pytest.raises(ValueError):
+            SocketFaultPlan(stall_s=-0.1)
+        with pytest.raises(ValueError):
+            SocketFaultPlan(cut_after_bytes=-1)
+
+    def test_whole_payload_by_default(self):
+        sent = []
+        injector = SocketFaultInjector(SocketFaultPlan())
+        delivered = injector.send(sent.append, b"hello world\n")
+        assert sent == [b"hello world\n"]
+        assert delivered == 12
+        assert injector.chunks == 1
+        assert injector.stalls == 0
+
+    def test_chunked_send_stalls_between_chunks(self):
+        sent, naps = [], []
+        injector = SocketFaultInjector(
+            SocketFaultPlan(chunk_size=4, stall_s=0.25), sleep=naps.append
+        )
+        delivered = injector.send(sent.append, b"0123456789")
+        assert sent == [b"0123", b"4567", b"89"]
+        assert delivered == 10
+        assert injector.chunks == 3
+        assert injector.stalls == 2  # between chunks, not before the first
+        assert naps == [0.25, 0.25]
+
+    def test_cut_delivers_the_prefix_then_half_closes(self):
+        sent, closed = [], []
+        injector = SocketFaultInjector(
+            SocketFaultPlan(chunk_size=4, cut_after_bytes=6)
+        )
+        with pytest.raises(SocketCutFault):
+            injector.send(
+                sent.append, b"0123456789",
+                unit="req-1", shutdown=lambda: closed.append(True),
+            )
+        assert b"".join(sent) == b"012345"  # exactly the byte budget
+        assert injector.cut
+        assert injector.sent_bytes == 6
+        assert closed == [True]
+
+    def test_cut_budget_spans_multiple_sends(self):
+        sent = []
+        injector = SocketFaultInjector(SocketFaultPlan(cut_after_bytes=10))
+        assert injector.send(sent.append, b"12345678") == 8
+        with pytest.raises(SocketCutFault):
+            injector.send(sent.append, b"abcdef")
+        assert b"".join(sent) == b"12345678ab"
+
+    def test_cut_connection_stays_dead(self):
+        injector = SocketFaultInjector(SocketFaultPlan(cut_after_bytes=0))
+        with pytest.raises(SocketCutFault):
+            injector.send(lambda _: None, b"x")
+        with pytest.raises(SocketCutFault, match="already half-open"):
+            injector.send(lambda _: None, b"y")
+
+    def test_cut_emits_an_audit_event(self):
+        injector = SocketFaultInjector(SocketFaultPlan(cut_after_bytes=2))
+        with capture_events() as events:
+            with pytest.raises(SocketCutFault):
+                injector.send(lambda _: None, b"abcdef", unit="svc")
+        cuts = [
+            fields for kind, fields in events
+            if kind == "fault.socket" and fields.get("fault") == "cut"
+        ]
+        assert cuts and cuts[0]["unit"] == "svc"
+
+    def test_same_plan_same_byte_sequence(self):
+        def drive():
+            sent = []
+            injector = SocketFaultInjector(
+                SocketFaultPlan(chunk_size=3, cut_after_bytes=7),
+            )
+            try:
+                injector.send(sent.append, b"abcdefghij")
+            except SocketCutFault:
+                pass
+            return sent
+
+        assert drive() == drive()

@@ -293,3 +293,70 @@ class TestBudgetedMode:
                 break
         assert resumed is not None
         assert resumed.render() == uninterrupted.render()
+
+
+class TestStateVersion:
+    """The query-service surface: a monotonic, recovery-stable version."""
+
+    def test_version_counts_closed_windows(self, tmp_path, stream, config):
+        runtime = StreamRuntime(stream, tmp_path / "wal", config)
+        assert runtime.state_version == 0
+        runtime.run()
+        assert runtime.state_version == len(runtime.windows) > 0
+
+    def test_version_survives_reopen(self, tmp_path, stream, config):
+        first = StreamRuntime(stream, tmp_path / "wal", config)
+        first.run(max_batches=5)
+        reopened = StreamRuntime(stream, tmp_path / "wal", config)
+        assert reopened.state_version == first.state_version
+        assert reopened.state_version == len(reopened.windows)
+
+    def test_on_advance_fires_in_version_order(self, tmp_path, stream, config):
+        seen = []
+        runtime = StreamRuntime(
+            stream, tmp_path / "wal", config,
+            on_advance=lambda version, window: seen.append(
+                (version, window.index)
+            ),
+        )
+        runtime.run(max_batches=4)
+        assert [v for v, _ in seen] == list(
+            range(1, runtime.state_version + 1)
+        )
+        assert [i for _, i in seen] == [w.index for w in runtime.windows]
+
+    def test_wal_replay_re_closes_fire_on_advance(
+        self, tmp_path, stream, config
+    ):
+        # Tear the second window's checkpoint write: the window's
+        # batches survive only in the WAL, so recovery must re-close it
+        # through the callback with the same version it had in vivo.
+        runtime = StreamRuntime(stream, tmp_path / "wal", config)
+        real_put = runtime.store.put
+        calls = {"n": 0}
+
+        def torn_put(key, payload):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("torn checkpoint write")
+            return real_put(key, payload)
+
+        runtime.store.put = torn_put
+        with pytest.raises(RuntimeError, match="torn"):
+            runtime.run()
+        assert runtime.state_version == 2  # closed in memory pre-crash
+        seen = []
+        reopened = StreamRuntime(
+            stream, tmp_path / "wal", config,
+            on_advance=lambda version, window: seen.append(version),
+        )
+        assert seen == [2], "the WAL-suffix window must replay on_advance"
+        assert reopened.state_version == 2
+
+    def test_version_resumes_monotonically(self, tmp_path, stream, config):
+        StreamRuntime(stream, tmp_path / "wal", config).run(max_batches=3)
+        resumed = StreamRuntime(stream, tmp_path / "wal", config)
+        before = resumed.state_version
+        resumed.run()
+        assert resumed.state_version > before
+        assert resumed.state_version == len(resumed.windows)

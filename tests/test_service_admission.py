@@ -1,0 +1,227 @@
+"""Admission control: bounds, deadlines, coalescing, shedding, cache."""
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionReject,
+    ResultCache,
+    ServiceCounters,
+)
+from repro.service.protocol import (
+    E_DRAINING,
+    E_OVER_CAPACITY,
+    E_OVER_DEADLINE,
+    E_SHED,
+    Request,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def controller(capacity=3, clock=None):
+    return AdmissionController(
+        capacity, clock=clock if clock is not None else FakeClock()
+    )
+
+
+class TestCapacity:
+    def test_bound_is_enforced_at_submit(self):
+        async def scenario():
+            ctl = controller(capacity=2)
+            ctl.submit(Request(verb="topk", args={"k": 1}))
+            ctl.submit(Request(verb="topk", args={"k": 2}))
+            assert ctl.depth == 2
+            with pytest.raises(AdmissionReject) as err:
+                ctl.submit(Request(verb="topk", args={"k": 3}))
+            assert err.value.code == E_OVER_CAPACITY
+            assert ctl.depth == 2  # the rejected request never queued
+            assert ctl.counters.rejected_over_capacity == 1
+            assert ctl.counters.admitted == 2
+
+        run(scenario())
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+class TestCoalescing:
+    def test_identical_queries_share_one_future(self):
+        async def scenario():
+            ctl = controller()
+            f1 = ctl.submit(Request(verb="topk", args={"k": 5}))
+            f2 = ctl.submit(Request(verb="topk", args={"k": 5}))
+            assert f1 is f2
+            assert ctl.depth == 1  # the follower took no queue slot
+            assert ctl.counters.coalesced == 1
+            ticket = await ctl.next_ticket()
+            ctl.resolve(ticket, "answer")
+            assert await f1 == "answer"
+            assert await f2 == "answer"
+
+        run(scenario())
+
+    def test_arg_order_does_not_defeat_coalescing(self):
+        async def scenario():
+            ctl = controller()
+            f1 = ctl.submit(Request(verb="node", args={"u": 1, "k": 2}))
+            f2 = ctl.submit(Request(verb="node", args={"k": 2, "u": 1}))
+            assert f1 is f2
+
+        run(scenario())
+
+    def test_different_args_do_not_coalesce(self):
+        async def scenario():
+            ctl = controller()
+            f1 = ctl.submit(Request(verb="topk", args={"k": 5}))
+            f2 = ctl.submit(Request(verb="topk", args={"k": 6}))
+            assert f1 is not f2
+            assert ctl.depth == 2
+
+        run(scenario())
+
+    def test_control_verbs_never_coalesce(self):
+        async def scenario():
+            ctl = controller()
+            f1 = ctl.submit(Request(verb="advance"))
+            f2 = ctl.submit(Request(verb="advance"))
+            assert f1 is not f2
+            assert ctl.counters.coalesced == 0
+
+        run(scenario())
+
+    def test_settled_future_is_not_reused(self):
+        async def scenario():
+            ctl = controller()
+            f1 = ctl.submit(Request(verb="topk", args={}))
+            ticket = await ctl.next_ticket()
+            ctl.resolve(ticket, "old")
+            f2 = ctl.submit(Request(verb="topk", args={}))
+            assert f1 is not f2
+
+        run(scenario())
+
+
+class TestDeadlines:
+    def test_expired_while_queued_is_rejected_before_compute(self):
+        async def scenario():
+            clock = FakeClock()
+            ctl = controller(clock=clock)
+            expired = ctl.submit(
+                Request(verb="topk", args={"k": 1}, deadline_ms=50)
+            )
+            live = ctl.submit(
+                Request(verb="topk", args={"k": 2}, deadline_ms=5000)
+            )
+            clock.now += 0.2  # 200ms pass; the 50ms deadline is gone
+            ticket = await ctl.next_ticket()
+            # The worker never saw the expired request.
+            assert ticket.request.args == {"k": 2}
+            assert ctl.counters.rejected_over_deadline == 1
+            with pytest.raises(AdmissionReject) as err:
+                await expired
+            assert err.value.code == E_OVER_DEADLINE
+            ctl.resolve(ticket, "ok")
+            assert await live == "ok"
+
+        run(scenario())
+
+    def test_no_deadline_never_expires(self):
+        async def scenario():
+            clock = FakeClock()
+            ctl = controller(clock=clock)
+            future = ctl.submit(Request(verb="topk", args={}))
+            clock.now += 1e6
+            ticket = await ctl.next_ticket()
+            ctl.resolve(ticket, "ok")
+            assert await future == "ok"
+
+        run(scenario())
+
+
+class TestShedAndDrain:
+    def test_shed_rejects_everything_queued(self):
+        async def scenario():
+            ctl = controller(capacity=5)
+            futures = [
+                ctl.submit(Request(verb="topk", args={"k": i}))
+                for i in range(1, 4)
+            ]
+            assert ctl.shed("memory") == 3
+            assert ctl.depth == 0
+            assert ctl.counters.shed == 3
+            for future in futures:
+                with pytest.raises(AdmissionReject) as err:
+                    await future
+                assert err.value.code == E_SHED
+
+        run(scenario())
+
+    def test_drain_rejects_new_but_finishes_queued(self):
+        async def scenario():
+            ctl = controller()
+            queued = ctl.submit(Request(verb="topk", args={}))
+            ctl.begin_drain()
+            with pytest.raises(AdmissionReject) as err:
+                ctl.submit(Request(verb="topk", args={"k": 9}))
+            assert err.value.code == E_DRAINING
+            assert ctl.counters.rejected_draining == 1
+            ticket = await ctl.next_ticket()
+            ctl.resolve(ticket, "finished")
+            assert await queued == "finished"
+
+        run(scenario())
+
+    def test_close_releases_the_worker_after_the_queue_empties(self):
+        async def scenario():
+            ctl = controller()
+            ctl.submit(Request(verb="topk", args={}))
+            ctl.close()
+            ticket = await ctl.next_ticket()
+            assert ticket is not None  # queued work still served
+            ctl.resolve(ticket, "ok")
+            assert await ctl.next_ticket() is None
+
+        run(scenario())
+
+
+class TestResultCache:
+    def test_hit_and_miss_counters(self):
+        counters = ServiceCounters()
+        cache = ResultCache(counters)
+        key = ("topk", "{}")
+        assert cache.get(1, key) is None
+        cache.put(1, key, {"pairs": []})
+        assert cache.get(1, key) == {"pairs": []}
+        assert counters.cache_misses == 1
+        assert counters.cache_hits == 1
+
+    def test_invalidate_drops_old_versions(self):
+        counters = ServiceCounters()
+        cache = ResultCache(counters)
+        key = ("topk", "{}")
+        cache.put(1, key, "v1-answer")
+        cache.invalidate(2)
+        assert len(cache) == 0
+        assert cache.get(2, key) is None
+        cache.put(2, key, "v2-answer")
+        # Asking at a stale version never returns the new entry.
+        assert cache.get(1, key) is None
+
+    def test_counters_payload_is_sorted_and_integer(self):
+        payload = ServiceCounters(admitted=3, shed=1).to_payload()
+        assert list(payload) == sorted(payload)
+        assert all(isinstance(v, int) for v in payload.values())

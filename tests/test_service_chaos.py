@@ -1,0 +1,238 @@
+"""Chaos acceptance for the query service (``pytest -m faults``).
+
+SIGKILLs a real ``repro serve`` daemon mid-request and mid-advance
+(``REPRO_CHAOS_KILL``), restarts it over the surviving state directory,
+and requires the restarted service's answers to be byte-identical to
+the batch oracle (``repro query``).  Socket-level misuse — one byte at
+a time, half-open shutdowns — is driven through the same client code
+path via :class:`~repro.resilience.faults.SocketFaultInjector`.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import io
+from repro.resilience.faults import SocketFaultInjector, SocketFaultPlan
+from repro.service import ServiceClient, ServiceClientError, canonical_json
+
+from conftest import random_temporal_graph
+
+pytestmark = pytest.mark.faults
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+RUNTIME_FLAGS = ("--k", "5", "--batch-size", "8", "--checkpoint-every", "2")
+
+
+def repro_env(kill_at=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    if kill_at is None:
+        env.pop("REPRO_CHAOS_KILL", None)
+    else:
+        env["REPRO_CHAOS_KILL"] = kill_at
+    return env
+
+
+def run_cli(*argv):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=repro_env(), timeout=120,
+    )
+    assert proc.returncode == 0, (proc.stdout, proc.stderr)
+    return proc
+
+
+def assert_killed(proc):
+    assert proc.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL), (
+        proc.returncode,
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("svc-chaos") / "stream.tsv"
+    io.write_edge_stream(random_temporal_graph(35, 160, seed=19), path)
+    return path
+
+
+def start_serve(stream_file, wal_dir, socket_path, *extra, kill_at=None):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(stream_file),
+            "--wal-dir", str(wal_dir), "--socket", str(socket_path),
+            *RUNTIME_FLAGS, *extra,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=repro_env(kill_at),
+    )
+    ready = proc.stdout.readline()
+    assert ready, proc.stderr.read()
+    assert json.loads(ready)["event"] == "ready"
+    return proc
+
+
+def stop_serve(proc):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate(timeout=30)
+
+
+def batch_topk(stream_file, wal_dir, k):
+    proc = run_cli(
+        "query", "topk", str(stream_file), "--wal-dir", str(wal_dir),
+        *RUNTIME_FLAGS, "--query-k", str(k),
+    )
+    return proc.stdout.rstrip("\n")
+
+
+def projection(response):
+    return canonical_json({
+        "result": response["result"], "version": response["version"],
+    })
+
+
+class TestKillMidRequest:
+    def test_restart_reserves_byte_identical_answers(
+        self, stream_file, tmp_path
+    ):
+        wal_dir = tmp_path / "wal"
+        run_cli("advance", str(stream_file), "--wal-dir", str(wal_dir),
+                *RUNTIME_FLAGS)
+        oracle = batch_topk(stream_file, wal_dir, 3)
+
+        # Generation 1: dies by its own hand mid-request.
+        victim = start_serve(
+            stream_file, wal_dir, tmp_path / "v1.sock",
+            kill_at="service.request.mid:1",
+        )
+        client = ServiceClient(("unix", str(tmp_path / "v1.sock")))
+        try:
+            with pytest.raises((ServiceClientError, OSError)):
+                client.request("topk", {"k": 3})
+        finally:
+            client.close()
+        victim.communicate(timeout=60)
+        assert_killed(victim)
+
+        # Generation 2: same state directory, no chaos.
+        survivor = start_serve(stream_file, wal_dir, tmp_path / "v2.sock")
+        try:
+            with ServiceClient(("unix", str(tmp_path / "v2.sock"))) as c:
+                response = c.request("topk", {"k": 3})
+        finally:
+            stop_serve(survivor)
+        assert response["ok"] is True
+        assert response["stale"] is False
+        assert projection(response) == oracle
+
+
+class TestKillMidAdvance:
+    def test_version_identity_after_checkpoint_kill(
+        self, stream_file, tmp_path
+    ):
+        wal_dir = tmp_path / "wal"
+        # Leave most of the stream for the service to ingest.
+        run_cli("advance", str(stream_file), "--wal-dir", str(wal_dir),
+                *RUNTIME_FLAGS, "--max-batches", "4")
+
+        victim = start_serve(
+            stream_file, wal_dir, tmp_path / "v1.sock",
+            "--advance-batches", "8", kill_at="checkpoint.mid:1",
+        )
+        client = ServiceClient(("unix", str(tmp_path / "v1.sock")))
+        try:
+            with pytest.raises((ServiceClientError, OSError)):
+                client.request("advance")
+        finally:
+            client.close()
+        victim.communicate(timeout=60)
+        assert_killed(victim)
+
+        # The batch oracle recovers the surviving directory the same way
+        # the restarted service does: answers and version must agree.
+        oracle = batch_topk(stream_file, wal_dir, 5)
+        survivor = start_serve(stream_file, wal_dir, tmp_path / "v2.sock")
+        try:
+            with ServiceClient(("unix", str(tmp_path / "v2.sock"))) as c:
+                response = c.request("topk", {"k": 5})
+                health = c.request("health")
+        finally:
+            stop_serve(survivor)
+        assert projection(response) == oracle
+        assert health["result"]["version"] == response["version"]
+        assert response["version"] == json.loads(oracle)["version"]
+
+
+class TestSocketFaults:
+    @pytest.fixture
+    def serving(self, stream_file, tmp_path):
+        wal_dir = tmp_path / "wal"
+        run_cli("advance", str(stream_file), "--wal-dir", str(wal_dir),
+                *RUNTIME_FLAGS)
+        proc = start_serve(stream_file, wal_dir, tmp_path / "svc.sock")
+        yield ("unix", str(tmp_path / "svc.sock"))
+        stop_serve(proc)
+
+    def test_slow_client_one_byte_at_a_time(self, serving):
+        """A request dribbled in single bytes is served normally."""
+        injector = SocketFaultInjector(
+            SocketFaultPlan(chunk_size=1, stall_s=0.001)
+        )
+        request = b'{"verb": "topk", "args": {"k": 2}, "id": "slow"}\n'
+        with ServiceClient(serving) as fast, ServiceClient(serving) as slow:
+            injector.send(slow.send_bytes, request, unit="slow-client")
+            assert injector.chunks == len(request)
+            expected = fast.request("topk", {"k": 2}, request_id="slow")
+            response = slow.recv_response()
+        assert response == expected
+
+    def test_half_open_client_does_not_wedge_the_service(self, serving):
+        """A write-shutdown client still gets its answer; others unaffected."""
+        plan = SocketFaultPlan(cut_after_bytes=10_000)  # never cuts here
+        injector = SocketFaultInjector(plan)
+        request = b'{"verb": "health", "id": "half"}\n'
+        with ServiceClient(serving) as half:
+            injector.send(
+                half.send_bytes, request,
+                unit="half-open", shutdown=half.shutdown_write,
+            )
+            half.shutdown_write()
+            response = half.recv_response()
+            assert response["ok"] is True
+            assert response["id"] == "half"
+        # The service survives the half-open hangup: a fresh client works.
+        with ServiceClient(serving) as fresh:
+            assert fresh.request("topk", {"k": 1})["ok"] is True
+
+    def test_cut_mid_request_leaves_the_service_serving(self, serving):
+        """A connection cut mid-line never poisons the accept loop."""
+        from repro.resilience.faults import SocketCutFault
+
+        injector = SocketFaultInjector(
+            SocketFaultPlan(chunk_size=4, cut_after_bytes=8)
+        )
+        torn = ServiceClient(serving)
+        try:
+            with pytest.raises(SocketCutFault):
+                injector.send(
+                    torn.send_bytes,
+                    b'{"verb": "topk", "args": {"k": 2}}\n',
+                    unit="torn-client",
+                    shutdown=torn.shutdown_write,
+                )
+            assert injector.cut
+        finally:
+            torn.close()
+        with ServiceClient(serving) as fresh:
+            assert fresh.request("topk", {"k": 2})["ok"] is True

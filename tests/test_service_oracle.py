@@ -1,0 +1,231 @@
+"""Differential oracle: a served answer is byte-identical to batch.
+
+``repro serve`` and ``repro query`` share one compute path
+(:func:`repro.service.answers.compute_answer`) and one canonical JSON
+encoding, so at the same ``state_version`` a service response's
+``{"result": ..., "version": ...}`` projection must equal the batch
+CLI's stdout *byte for byte* — across restarts and in degraded mode.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import io
+from repro.runtime import RuntimeConfig, StreamRuntime
+from repro.runtime.breaker import CircuitBreaker
+from repro.runtime.supervisor import Supervisor
+from repro.service import (
+    ConvergenceService,
+    ServiceClient,
+    canonical_json,
+    compute_answer,
+)
+
+from conftest import random_temporal_graph
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+RUNTIME_FLAGS = ("--k", "5", "--batch-size", "8", "--checkpoint-every", "2")
+CONFIG = RuntimeConfig(k=5, batch_size=8, checkpoint_every=2)
+
+
+def repro_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CHAOS_KILL", None)
+    return env
+
+
+def run_cli(*argv, check=True):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=repro_env(), timeout=120,
+    )
+    if check:
+        assert proc.returncode == 0, (proc.stdout, proc.stderr)
+    return proc
+
+
+@pytest.fixture(scope="module")
+def stream_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("oracle-stream") / "stream.tsv"
+    io.write_edge_stream(
+        random_temporal_graph(35, 160, seed=13), path
+    )
+    return path
+
+
+@pytest.fixture(scope="module")
+def wal_dir(stream_file, tmp_path_factory):
+    """A fully advanced state directory, shared by every oracle case."""
+    wal = tmp_path_factory.mktemp("oracle-state") / "wal"
+    run_cli("advance", str(stream_file), "--wal-dir", str(wal),
+            *RUNTIME_FLAGS)
+    return wal
+
+
+def batch_query(wal_dir, stream_file, verb, *extra):
+    """One ``repro query`` stdout line — the oracle's ground truth."""
+    proc = run_cli(
+        "query", verb, str(stream_file), "--wal-dir", str(wal_dir),
+        *RUNTIME_FLAGS, *extra,
+    )
+    return proc.stdout.rstrip("\n")
+
+
+def projection(response):
+    """The comparable core of a service response envelope."""
+    return canonical_json({
+        "result": response["result"], "version": response["version"],
+    })
+
+
+class ServeProcess:
+    """A real ``repro serve`` daemon on a UNIX socket."""
+
+    def __init__(self, stream_file, wal_dir, socket_path, *extra):
+        self.socket_path = socket_path
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(stream_file),
+                "--wal-dir", str(wal_dir), "--socket", str(socket_path),
+                *RUNTIME_FLAGS, *extra,
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=repro_env(),
+        )
+        ready = self.proc.stdout.readline()
+        assert ready, self.proc.stderr.read()
+        event = json.loads(ready)
+        assert event["event"] == "ready"
+        self.address = ("unix", str(socket_path))
+
+    def drain(self):
+        """SIGTERM, await graceful exit, return the drained event."""
+        self.proc.send_signal(signal.SIGTERM)
+        stdout, stderr = self.proc.communicate(timeout=60)
+        assert self.proc.returncode == 0, (stdout, stderr)
+        lines = [ln for ln in stdout.splitlines() if ln.strip()]
+        event = json.loads(lines[-1])
+        assert event["event"] == "drained"
+        return event
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.communicate(timeout=30)
+
+
+@pytest.fixture
+def serve(stream_file, wal_dir, tmp_path):
+    server = ServeProcess(stream_file, wal_dir, tmp_path / "svc.sock")
+    yield server
+    server.kill()
+
+
+class TestServedEqualsBatch:
+    def test_topk_byte_identity(self, serve, stream_file, wal_dir):
+        with ServiceClient(serve.address) as client:
+            response = client.request("topk", {"k": 3}, request_id="o1")
+        assert response["ok"] is True
+        assert response["stale"] is False
+        oracle = batch_query(wal_dir, stream_file, "topk", "--query-k", "3")
+        assert projection(response) == oracle
+
+    def test_node_byte_identity(self, serve, stream_file, wal_dir):
+        with ServiceClient(serve.address) as client:
+            top = client.request("topk", {"k": 1})
+            u = top["result"]["pairs"][0][0]
+            response = client.request("node", {"u": u, "k": 4})
+        oracle = batch_query(
+            wal_dir, stream_file, "node", "--u", str(u), "--query-k", "4",
+        )
+        assert projection(response) == oracle
+
+    def test_coalesced_answers_are_the_served_bytes(self, serve):
+        """Two clients asking the same question get identical envelopes."""
+        with ServiceClient(serve.address) as a, \
+                ServiceClient(serve.address) as b:
+            a.send_line('{"verb": "topk", "args": {"k": 2}}')
+            b.send_line('{"verb": "topk", "args": {"k": 2}}')
+            ra = a.recv_line()
+            rb = b.recv_line()
+        assert ra == rb
+
+    def test_status_roundtrip_and_drain(self, serve, stream_file, wal_dir):
+        status = run_cli(
+            "serve", "--status", "--socket", str(serve.socket_path),
+        )
+        health = json.loads(status.stdout)
+        assert health["ok"] is True
+        assert health["result"]["version"] == health["version"]
+        drained = serve.drain()
+        assert drained["version"] == health["version"]
+
+
+class TestRestartIdentity:
+    def test_reserve_after_drain_is_byte_identical(
+        self, stream_file, wal_dir, tmp_path
+    ):
+        answers = []
+        for generation in ("first", "second"):
+            server = ServeProcess(
+                stream_file, wal_dir, tmp_path / f"{generation}.sock"
+            )
+            try:
+                with ServiceClient(server.address) as client:
+                    answers.append(
+                        projection(client.request("topk", {"k": 5}))
+                    )
+                server.drain()
+            finally:
+                server.kill()
+        assert answers[0] == answers[1]
+
+
+class TestDegradedOracle:
+    def test_stale_answer_matches_batch_at_the_same_version(
+        self, stream_file, wal_dir
+    ):
+        """Degraded serving still returns the batch bytes for its version."""
+        runtime = StreamRuntime(
+            io.read_edge_stream(stream_file), wal_dir, CONFIG
+        )
+
+        def boom(max_batches=None):
+            raise RuntimeError("ingest source gone")
+
+        runtime.run = boom
+        service = ConvergenceService(
+            runtime,
+            breaker=CircuitBreaker(failure_threshold=1, seed=9),
+            supervisor=Supervisor(max_restarts=0),
+        )
+
+        import asyncio
+
+        async def scenario():
+            service.start_worker()
+            await service.handle_line('{"verb": "advance"}')
+            response = json.loads(
+                await service.handle_line('{"verb": "topk", "args": {"k": 3}}')
+            )
+            await service.drain()
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["stale"] is True
+        fresh = StreamRuntime(
+            io.read_edge_stream(stream_file), wal_dir, CONFIG
+        )
+        assert response["version"] == fresh.state_version
+        assert projection(response) == canonical_json({
+            "result": compute_answer(fresh, "topk", {"k": 3}),
+            "version": fresh.state_version,
+        })

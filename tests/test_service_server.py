@@ -1,0 +1,309 @@
+"""In-process service behaviour: caching, degradation, shed, drain."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runtime import RuntimeConfig, StreamRuntime
+from repro.runtime.breaker import CLOSED, CircuitBreaker
+from repro.runtime.guards import ResourceGuard
+from repro.runtime.supervisor import Supervisor
+from repro.service import ConvergenceService
+from repro.service.answers import compute_answer
+
+from conftest import random_temporal_graph
+
+
+def make_runtime(tmp_path, name="wal", batches=None):
+    stream = random_temporal_graph(25, 90, seed=7)
+    rt = StreamRuntime(
+        stream, tmp_path / name,
+        RuntimeConfig(k=4, batch_size=5, checkpoint_every=2),
+    )
+    if batches is not None:
+        rt.run(max_batches=batches)
+    return rt
+
+
+async def served(service, *lines):
+    """Start the worker, handle each line, drain, return decoded payloads."""
+    service.start_worker()
+    try:
+        return [json.loads(await service.handle_line(line)) for line in lines]
+    finally:
+        await service.drain()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestQueries:
+    def test_topk_envelope_matches_direct_compute(self, tmp_path):
+        runtime = make_runtime(tmp_path, batches=6)
+        service = ConvergenceService(runtime)
+        (resp,) = run(served(service, '{"verb": "topk", "id": "q1"}'))
+        assert resp["ok"] is True
+        assert resp["id"] == "q1"
+        assert resp["stale"] is False
+        assert resp["version"] == runtime.state_version
+        assert resp["result"] == compute_answer(runtime, "topk", {})
+
+    def test_repeated_query_hits_the_cache(self, tmp_path):
+        service = ConvergenceService(make_runtime(tmp_path, batches=6))
+        line = '{"verb": "topk", "args": {"k": 2}}'
+        r1, r2 = run(served(service, line, line))
+        assert r1 == r2
+        assert service.counters.cache_misses == 1
+        assert service.counters.cache_hits == 1
+
+    def test_advance_invalidates_the_cache(self, tmp_path):
+        runtime = make_runtime(tmp_path, batches=4)
+        service = ConvergenceService(runtime, advance_batches=4)
+
+        async def scenario():
+            service.start_worker()
+            first = json.loads(await service.handle_line('{"verb": "topk"}'))
+            adv = json.loads(await service.handle_line('{"verb": "advance"}'))
+            second = json.loads(await service.handle_line('{"verb": "topk"}'))
+            await service.drain()
+            return first, adv, second
+
+        first, adv, second = run(scenario())
+        assert adv["ok"] is True
+        assert adv["result"]["windows"] == len(runtime.windows)
+        assert second["version"] > first["version"]
+        assert second["version"] == runtime.state_version
+        # Both topk computations were misses: the advance dropped v1.
+        assert service.counters.cache_misses == 2
+        assert service.counters.cache_hits == 0
+        assert service.counters.advances >= 1
+
+    def test_health_is_deterministic_across_twin_services(self, tmp_path):
+        payloads = []
+        for name in ("a", "b"):
+            service = ConvergenceService(make_runtime(tmp_path, name, batches=4))
+            (resp,) = run(served(service, '{"verb": "health"}'))
+            payloads.append(json.dumps(resp, sort_keys=True))
+        assert payloads[0] == payloads[1]
+
+    def test_health_carries_no_wallclock_fields(self, tmp_path):
+        service = ConvergenceService(make_runtime(tmp_path, batches=4))
+        (resp,) = run(served(service, '{"verb": "health"}'))
+        flat = json.dumps(resp)
+        for needle in ("time", "stamp", "elapsed", "age"):
+            assert needle not in flat
+
+
+class TestAdmissionPath:
+    def test_bad_request_rejected_before_admission(self, tmp_path):
+        service = ConvergenceService(make_runtime(tmp_path, batches=4))
+
+        async def scenario():
+            # No worker running: a queued request would hang, so a
+            # completed response proves the reject happened at parse.
+            resp = json.loads(
+                await service.handle_line('{"verb": "topk", "args": {"k": 0}}')
+            )
+            unknown = json.loads(
+                await service.handle_line('{"verb": "nope", "id": "x"}')
+            )
+            return resp, unknown
+
+        resp, unknown = run(scenario())
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "bad_request"
+        assert unknown["error"]["code"] == "unknown_verb"
+        assert unknown["id"] == "x"
+        assert service.counters.rejected_bad_request == 2
+        assert service.counters.admitted == 0
+        assert service.counters.cache_misses == 0  # nothing computed
+
+    def test_over_capacity_burst_never_exceeds_the_bound(self, tmp_path):
+        service = ConvergenceService(make_runtime(tmp_path, batches=4), capacity=3)
+
+        async def scenario():
+            # Submit a burst of distinct queries before the worker runs.
+            lines = [
+                json.dumps({"verb": "topk", "args": {"k": k}, "id": f"q{k}"})
+                for k in range(1, 8)
+            ]
+            tasks = [
+                asyncio.ensure_future(service.handle_line(line))
+                for line in lines
+            ]
+            await asyncio.sleep(0)  # let every submit land
+            assert service.controller.depth <= 3
+            service.start_worker()
+            responses = [json.loads(await t) for t in tasks]
+            await service.drain()
+            return responses
+
+        responses = run(scenario())
+        rejected = [r for r in responses if not r["ok"]]
+        servedok = [r for r in responses if r["ok"]]
+        assert len(servedok) == 3
+        assert len(rejected) == 4
+        assert {r["error"]["code"] for r in rejected} == {"over_capacity"}
+        assert service.counters.rejected_over_capacity == 4
+
+    def test_over_deadline_rejected_without_compute(self, tmp_path):
+        clock = [100.0]
+        service = ConvergenceService(
+            make_runtime(tmp_path, batches=4), clock=lambda: clock[0]
+        )
+
+        async def scenario():
+            task = asyncio.ensure_future(
+                service.handle_line(
+                    '{"verb": "topk", "deadline_ms": 10, "id": "late"}'
+                )
+            )
+            await asyncio.sleep(0)
+            clock[0] += 1.0  # 1s passes while queued; deadline was 10ms
+            service.start_worker()
+            resp = json.loads(await task)
+            await service.drain()
+            return resp
+
+        resp = run(scenario())
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "over_deadline"
+        assert resp["id"] == "late"
+        assert service.counters.cache_misses == 0  # no traversal ran
+        assert service.counters.rejected_over_deadline == 1
+
+    def test_coalesced_burst_shares_one_computation(self, tmp_path):
+        service = ConvergenceService(make_runtime(tmp_path, batches=6))
+
+        async def scenario():
+            line = '{"verb": "topk", "args": {"k": 3}}'
+            tasks = [
+                asyncio.ensure_future(service.handle_line(line))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)
+            assert service.controller.depth == 1
+            service.start_worker()
+            responses = [json.loads(await t) for t in tasks]
+            await service.drain()
+            return responses
+
+        responses = run(scenario())
+        assert all(r["ok"] for r in responses)
+        assert len({json.dumps(r, sort_keys=True) for r in responses}) == 1
+        assert service.counters.coalesced == 4
+        assert service.counters.cache_misses == 1
+        assert service.counters.cache_hits == 0  # shared, not recomputed
+
+
+class TestDegradedMode:
+    def make_failing_service(self, tmp_path):
+        runtime = make_runtime(tmp_path, batches=4)
+
+        def boom(max_batches=None):
+            raise RuntimeError("ingest wedged")
+
+        runtime.run = boom
+        return ConvergenceService(
+            runtime,
+            breaker=CircuitBreaker(failure_threshold=1, seed=3),
+            supervisor=Supervisor(max_restarts=0),
+        )
+
+    def test_failed_advance_opens_breaker_and_serves_stale(self, tmp_path):
+        service = self.make_failing_service(tmp_path)
+        adv, query = run(
+            served(service, '{"verb": "advance"}', '{"verb": "topk"}')
+        )
+        assert adv["ok"] is False
+        assert adv["error"]["code"] == "advance_failed"
+        assert service.breaker.state != CLOSED
+        # Queries keep working, flagged as degraded.
+        assert query["ok"] is True
+        assert query["stale"] is True
+        assert query["version"] == service.runtime.state_version
+
+    def test_open_breaker_fails_advances_fast(self, tmp_path):
+        service = self.make_failing_service(tmp_path)
+        first, second = run(
+            served(service, '{"verb": "advance"}', '{"verb": "advance"}')
+        )
+        assert first["error"]["code"] == "advance_failed"
+        assert second["error"]["code"] == "advance_failed"
+        assert "breaker" in second["error"]["message"]
+
+    def test_stale_answers_match_fresh_compute_at_same_version(self, tmp_path):
+        service = self.make_failing_service(tmp_path)
+        _, query = run(
+            served(service, '{"verb": "advance"}', '{"verb": "topk"}')
+        )
+        assert query["result"] == compute_answer(service.runtime, "topk", {})
+
+
+class TestGuardShed:
+    def test_breach_sheds_the_queue_before_checkpointing(self, tmp_path):
+        guard = ResourceGuard(
+            soft_time_s=0.5, clock=iter([0.0, 9.0]).__next__
+        )
+        service = ConvergenceService(
+            make_runtime(tmp_path, batches=4), guard=guard
+        )
+
+        async def scenario():
+            lines = [
+                json.dumps({"verb": "topk", "args": {"k": k}})
+                for k in (1, 2, 3)
+            ]
+            tasks = [
+                asyncio.ensure_future(service.handle_line(line))
+                for line in lines
+            ]
+            await asyncio.sleep(0)
+            service.start_worker()
+            responses = [json.loads(await t) for t in tasks]
+            await service.drain()
+            return responses
+
+        responses = run(scenario())
+        assert all(not r["ok"] for r in responses)
+        assert {r["error"]["code"] for r in responses} == {"shed"}
+        assert guard.breached == "time"
+        assert service.counters.cache_misses == 0  # shed before compute
+
+
+class TestDrain:
+    def test_drain_finishes_queued_then_rejects_new(self, tmp_path):
+        service = ConvergenceService(make_runtime(tmp_path, batches=4))
+
+        async def scenario():
+            task = asyncio.ensure_future(
+                service.handle_line('{"verb": "topk", "id": "inflight"}')
+            )
+            await asyncio.sleep(0)
+            service.request_drain()
+            late = json.loads(
+                await service.handle_line('{"verb": "topk", "id": "late"}')
+            )
+            service.start_worker()
+            inflight = json.loads(await task)
+            await service.drain()
+            return inflight, late
+
+        inflight, late = run(scenario())
+        assert inflight["ok"] is True
+        assert late["ok"] is False
+        assert late["error"]["code"] == "draining"
+
+    def test_drain_flushes_durable_state(self, tmp_path):
+        runtime = make_runtime(tmp_path, batches=4)
+        service = ConvergenceService(runtime)
+        run(served(service, '{"verb": "topk"}'))
+        # A fresh runtime over the same WAL dir recovers the exact state.
+        recovered = StreamRuntime(
+            random_temporal_graph(25, 90, seed=7), tmp_path / "wal",
+            RuntimeConfig(k=4, batch_size=5, checkpoint_every=2),
+        )
+        assert recovered.state_version == runtime.state_version
+        assert recovered.consumed == runtime.consumed
