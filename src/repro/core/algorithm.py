@@ -155,9 +155,16 @@ def find_top_k_converging_pairs(
             g1, g2, candidates, result, budget, workers
         )
     else:
+        from repro.parallel import derive_run_id
+
         scored = _score_candidates_csr(
             g1, g2, candidates, result, budget, workers,
             prune=prune, k=k,
+            # Seeded, collision-safe shm segment identity — everything
+            # that shapes the run, nothing from the clock or the pid.
+            shm_run_id=derive_run_id(
+                "topk.sssp", selector.name, seed, k, m, len(candidates)
+            ),
         )
 
     ranked = sorted(scored.values(), key=ConvergingPair.sort_key)
@@ -181,13 +188,15 @@ def _score_candidates_dict(
     g1: Graph, g2: Graph, candidates: Sequence[Node],
     result: "SelectionResult", budget: SPBudget,
     workers: int = 1, prune: bool = False, k: int = 0,
+    shm_run_id: Optional[str] = None,
 ) -> Dict[tuple, ConvergingPair]:
     """Reference scoring path: one distance map pair per candidate.
 
-    ``prune``/``k`` keep the signature interchangeable with
-    ``_score_candidates_csr``; distance maps carry no level arrays to
-    bound, so this path never prunes (callers reject ``prune=True`` on
-    weighted inputs before reaching it).
+    ``prune``/``k``/``shm_run_id`` keep the signature interchangeable
+    with ``_score_candidates_csr``; distance maps carry no level arrays
+    to bound (callers reject ``prune=True`` on weighted inputs before
+    reaching here), and dict graphs hold no shareable arrays, so the
+    arena never publishes on this path.
     """
     fresh: Dict[Node, tuple] = {}
     if workers > 1:
@@ -196,7 +205,9 @@ def _score_candidates_dict(
             for c in candidates
         ]
         if any(n1 or n2 for _, n1, n2 in specs):
-            executor = ParallelExecutor(workers, state={"g1": g1, "g2": g2})
+            executor = ParallelExecutor(
+                workers, state={"g1": g1, "g2": g2}, shm_run_id=shm_run_id
+            )
             rows = executor.map(_dict_rows_task, specs, unit="topk.sssp")
             fresh = dict(zip(candidates, rows))
 
@@ -275,10 +286,70 @@ def _csr_rows_task(
     return lv1, lv2
 
 
+def _csr_rows_batch_task(
+    batch: "Sequence[Tuple[int, int]]",
+) -> "List[Tuple[Optional[np.ndarray], Optional[np.ndarray]]]":
+    """Worker task: fresh level rows for a batch of candidates (CSR path).
+
+    Per-spec semantics are exactly :func:`_csr_rows_task`'s — same
+    static Δ ≥ 1 prune, same incremental repair, same cached-row
+    fallbacks — but the independent traversals are advanced together by
+    the bit-parallel multi-source kernel: one msbfs block for the
+    batch's fresh t1 rows, one for its cached-t1 → full-t2 fallbacks.
+    The repairs stay per-source (each consumes its own t1 row).  Budget
+    note: batching never changes what is charged — each spec is still
+    one SSSP result per fresh row, charged in-parent.
+    """
+    from repro.graph.incremental import repair_levels
+    from repro.graph.msbfs import msbfs_levels
+    from repro.graph.prune import source_bound
+
+    state = worker_state()
+    delta = state["delta"]
+    plan = state.get("plan")
+    t1_sources = [i1 for i1, _ in batch if i1 >= 0]
+    t2_sources = [i2 for i1, i2 in batch if i1 < 0 and i2 >= 0]
+    # reprolint: disable=R004 -- charged in the parent's scoring loop before dispatch (ledger stays in-parent)
+    block1 = msbfs_levels(delta.csr1, t1_sources) if t1_sources else None
+    # reprolint: disable=R004 -- charged in the parent's scoring loop before dispatch (ledger stays in-parent)
+    block2 = msbfs_levels(delta.csr2, t2_sources) if t2_sources else None
+
+    out: List[Tuple[Optional[np.ndarray], Optional[np.ndarray]]] = []
+    pos1 = pos2 = 0
+    for i1, i2 in batch:
+        lv1: Optional[np.ndarray] = None
+        lv2: Optional[np.ndarray] = None
+        if i1 >= 0:
+            assert block1 is not None
+            raw1 = block1[pos1]
+            pos1 += 1
+            lv1 = raw1.astype(np.int64)
+            if i2 >= 0:
+                if plan is not None and source_bound(raw1, plan) < 1:
+                    lv2 = lv1
+                elif plan is not None:
+                    # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged in-parent
+                    lv2 = repair_levels(
+                        delta, raw1, max_level=int(raw1.max()) - 1
+                    )[delta.mapping].astype(np.int64)
+                else:
+                    # reprolint: disable=R004 -- the repaired t2 row is the second half of the candidate's SSSP pair, charged in-parent
+                    lv2 = repair_levels(delta, raw1)[delta.mapping].astype(
+                        np.int64
+                    )
+        if i2 >= 0 and lv2 is None:
+            assert block2 is not None
+            lv2 = block2[pos2][delta.mapping].astype(np.int64)
+            pos2 += 1
+        out.append((lv1, lv2))
+    return out
+
+
 def _score_candidates_csr(
     g1: Graph, g2: Graph, candidates: Sequence[Node],
     result: "SelectionResult", budget: SPBudget,
     workers: int = 1, prune: bool = False, k: int = 0,
+    shm_run_id: Optional[str] = None,
 ) -> Dict[tuple, ConvergingPair]:
     """Vectorised scoring path for unweighted snapshots.
 
@@ -337,10 +408,22 @@ def _score_candidates_csr(
             for c in candidates
         ]
         if any(i1 >= 0 or i2 >= 0 for i1, i2 in specs):
+            # Batch width balances the bit-parallel sweep (wider = fewer
+            # frontier loops) against pool utilisation (small candidate
+            # sets must still spread across the workers).
+            width = max(1, min(64, -(-len(specs) // (workers * 4))))
+            batches = [
+                specs[i : i + width] for i in range(0, len(specs), width)
+            ]
             executor = ParallelExecutor(
-                workers, state={"delta": delta, "plan": plan}
+                workers,
+                state={"delta": delta, "plan": plan},
+                shm_run_id=shm_run_id,
             )
-            rows = executor.map(_csr_rows_task, specs, unit="topk.sssp")
+            row_batches = executor.map(
+                _csr_rows_batch_task, batches, unit="topk.sssp"
+            )
+            rows = [row for batch in row_batches for row in batch]
             fresh = dict(zip(candidates, rows))
 
     def row_to_levels(row: Dict[Node, float], index: Dict[Node, int]) -> np.ndarray:

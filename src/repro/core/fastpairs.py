@@ -30,11 +30,8 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph, UNREACHED, bfs_levels
 from repro.graph.graph import Graph
-from repro.graph.incremental import (
-    SnapshotDelta,
-    levels_pair_indexed,
-    repair_levels,
-)
+from repro.graph.incremental import SnapshotDelta, repair_levels
+from repro.graph.msbfs import DEFAULT_BATCH, iter_msbfs_rows, msbfs_levels
 from repro.graph.prune import (
     KthTracker,
     PrunePlan,
@@ -63,25 +60,34 @@ def _row_stream(
     """t1 node order plus a ``(i, lv1, lv2)`` stream over every t1 source.
 
     Both level arrays are aligned to ``csr1``'s node order and freshly
-    allocated (consumers may mutate them).  ``incremental=True`` builds
-    the snapshot delta once and repairs each t1 row into its t2 row;
-    ``incremental=False`` runs two independent traversals per source.
+    allocated (consumers may mutate them — :func:`iter_msbfs_rows` and
+    :func:`msbfs_levels` rows honour the same contract).  The t1 rows
+    advance through the bit-parallel multi-source kernel, 64 traversals
+    per frontier sweep.  ``incremental=True`` builds the snapshot delta
+    once and repairs each t1 row into its t2 row; ``incremental=False``
+    also batches the independent t2 traversals.
     """
     if incremental:
         delta = SnapshotDelta.from_graphs(g1, g2)
         mapping = delta.mapping
 
         def repaired() -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
-            for i in range(delta.csr1.num_nodes):
-                lv1, lv2 = levels_pair_indexed(delta, i)
-                yield i, lv1, lv2[mapping]
+            for i, lv1 in iter_msbfs_rows(
+                delta.csr1, range(delta.csr1.num_nodes)
+            ):
+                yield i, lv1, repair_levels(delta, lv1)[mapping]
 
         return delta.csr1.nodes, repaired()
     csr1, csr2, mapping = _csr_views(g1, g2)
 
     def recomputed() -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
-        for i in range(csr1.num_nodes):
-            yield i, bfs_levels(csr1, i), bfs_levels(csr2, mapping[i])[mapping]
+        n = csr1.num_nodes
+        for start in range(0, n, DEFAULT_BATCH):
+            stop = min(start + DEFAULT_BATCH, n)
+            block1 = msbfs_levels(csr1, range(start, stop))
+            block2 = msbfs_levels(csr2, mapping[start:stop])
+            for j in range(stop - start):
+                yield start + j, block1[j], block2[j][mapping]
 
     return csr1.nodes, recomputed()
 
@@ -172,8 +178,7 @@ def _pruned_pairs_at_threshold(
     rows: List[Tuple[object, object, int, int]] = []
     n = delta.csr1.num_nodes
     stats.sources += n
-    for i in range(n):
-        lv1 = bfs_levels(delta.csr1, i)
+    for i, lv1 in iter_msbfs_rows(delta.csr1, range(n)):
         if source_bound(lv1, plan) < theta:
             stats.skipped += 1
             continue

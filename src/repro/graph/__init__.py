@@ -13,6 +13,7 @@ from repro.graph.dynamic import EdgeEvent, TemporalGraph
 from repro.graph.traversal import (
     bfs_distances,
     bfs_distances_bounded,
+    bfs_distances_many,
     bfs_tree,
     bidirectional_bfs,
     dijkstra_distances,
@@ -45,6 +46,7 @@ from repro.graph.csr import (
     bfs_distances_fast,
     bfs_levels,
 )
+from repro.graph.msbfs import iter_msbfs_rows, msbfs_levels
 from repro.graph.incremental import (
     SnapshotDelta,
     levels_pair,
@@ -85,6 +87,7 @@ __all__ = [
     "TemporalGraph",
     "bfs_distances",
     "bfs_distances_bounded",
+    "bfs_distances_many",
     "bfs_tree",
     "bidirectional_bfs",
     "dijkstra_distances",
@@ -108,6 +111,8 @@ __all__ = [
     "all_sources_levels",
     "bfs_distances_fast",
     "bfs_levels",
+    "iter_msbfs_rows",
+    "msbfs_levels",
     "SnapshotDelta",
     "levels_pair",
     "levels_pair_indexed",

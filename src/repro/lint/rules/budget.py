@@ -41,6 +41,12 @@ SSSP_ENTRY_POINTS = frozenset({
     # pruning layer must never become an uncharged side door.
     "bounded_bfs_levels",
     "csr_top_k_rows",
+    # Bit-parallel multi-source BFS: one *source* in a batch is one SSSP
+    # result of budgeted cost, exactly as if it ran alone — batching
+    # amortises frontier sweeps, never charges (docs/budget-model.md).
+    "msbfs_levels",
+    "iter_msbfs_rows",
+    "bfs_distances_many",
 })
 
 #: The engine package itself — the layer the entry points live in.

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
@@ -86,6 +87,21 @@ def _pool_init(state: Dict[str, Any]) -> None:
     _install_state(state)
 
 
+def _pool_init_shm(payload: Any) -> None:
+    """Pool initializer for arena-backed state: attach, don't unpickle.
+
+    ``payload`` is a :data:`repro.parallel.shm.WorkerPayload` — the tiny
+    manifest plus the plain (non-array) remainder of the state; the
+    graph arrays themselves are mapped read-only from the parent's
+    shared-memory segment.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    from repro.parallel.shm import attach_state
+
+    _install_state(attach_state(payload))
+
+
 def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
     """Worker entry point: apply ``fn`` to every item of one chunk."""
     return [fn(item) for item in chunk]
@@ -126,11 +142,20 @@ class ParallelExecutor:
         once per chunk dispatch — the chaos hook that simulates a worker
         failure deterministically.
     start_method:
-        Multiprocessing start method override (default: ``fork`` when
-        available, else ``spawn``; serial fallback when neither exists).
+        Multiprocessing start method override (default: the
+        ``REPRO_PARALLEL_START_METHOD`` environment variable if set —
+        the CI matrix knob — else ``fork`` when available, else
+        ``spawn``; serial fallback when neither exists).
     sleep:
         Injectable sleep passed to the retry policy during degraded
         recomputation, so tests never wall-clock-wait.
+    shm_run_id:
+        Seeded run id (see :func:`repro.parallel.shm.derive_run_id`)
+        enabling the shared-memory arena: the state's CSR / delta /
+        plan / ndarray values are published into one shm segment per
+        pool and workers attach read-only views instead of receiving
+        the arrays by value.  ``None`` (default) ships the state the
+        classic way.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -143,6 +168,7 @@ class ParallelExecutor:
         fault_injector: Optional[FaultInjector] = None,
         start_method: Optional[str] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        shm_run_id: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -152,7 +178,10 @@ class ParallelExecutor:
         self.chunk_size = chunk_size
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
-        self.start_method = start_method
+        self.start_method = start_method or os.environ.get(
+            "REPRO_PARALLEL_START_METHOD"
+        )
+        self.shm_run_id = shm_run_id
         self._state = dict(state) if state else {}
         self._sleep = sleep
         #: ``{"chunk": index, "items": count, "error": "Type: msg"}`` per
@@ -228,48 +257,79 @@ class ParallelExecutor:
         results: List[Optional[List[R]]] = [None] * len(chunks)
         degraded: List[int] = []
         context = multiprocessing.get_context(method)
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)),
-            mp_context=context,
-            initializer=_pool_init,
-            initargs=(self._state,),
-        ) as pool:
-            pending = {}
-            for index, chunk in enumerate(chunks):
-                try:
-                    if self.fault_injector is not None:
-                        self.fault_injector.check(unit=f"{unit}[chunk={index}]")
-                    pending[index] = pool.submit(_run_chunk, fn, chunk)
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                # reprolint: disable=R006 -- routed to resilience.events: _record_failure emits a parallel.degraded log_event
-                except Exception as exc:
-                    self._record_failure(index, len(chunk), exc, unit)
-                    degraded.append(index)
-            for index in sorted(pending):
-                try:
-                    results[index] = pending[index].result()
-                except (KeyboardInterrupt, SystemExit):
-                    raise
-                # reprolint: disable=R006 -- routed to resilience.events: _record_failure emits a parallel.degraded log_event
-                except (BrokenProcessPool, Exception) as exc:
-                    self._record_failure(index, len(chunks[index]), exc, unit)
-                    degraded.append(index)
-                else:
-                    # Liveness beacon: supervisors subscribe to this to
-                    # heartbeat a pool that is making progress (see
-                    # repro.runtime.supervisor.HeartbeatMonitor).
-                    log_event(
-                        "parallel.chunk_done",
-                        unit=unit,
-                        chunk=index,
-                        items=len(chunks[index]),
-                    )
 
-        if degraded:
-            _install_state(self._state)
-            for index in sorted(degraded):
-                results[index] = self._recompute(fn, chunks[index], unit, index)
+        arena = None
+        initializer: Callable[..., None] = _pool_init
+        initargs: tuple = (self._state,)
+        if self.shm_run_id is not None:
+            from repro.parallel.shm import SharedCsrArena
+
+            arena = SharedCsrArena.maybe_publish(
+                self._state, run_id=self.shm_run_id
+            )
+            if arena is not None:
+                initializer = _pool_init_shm
+                initargs = (arena.worker_payload(),)
+                log_event(
+                    "parallel.shm_published",
+                    unit=unit,
+                    bytes=arena.segment_bytes,
+                    arrays=len(arena.manifest.arrays),
+                )
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                pending = {}
+                for index, chunk in enumerate(chunks):
+                    try:
+                        if self.fault_injector is not None:
+                            self.fault_injector.check(unit=f"{unit}[chunk={index}]")
+                        pending[index] = pool.submit(_run_chunk, fn, chunk)
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    # reprolint: disable=R006 -- routed to resilience.events: _record_failure emits a parallel.degraded log_event
+                    except Exception as exc:
+                        self._record_failure(index, len(chunk), exc, unit)
+                        degraded.append(index)
+                for index in sorted(pending):
+                    try:
+                        results[index] = pending[index].result()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    # reprolint: disable=R006 -- routed to resilience.events: _record_failure emits a parallel.degraded log_event
+                    except (BrokenProcessPool, Exception) as exc:
+                        self._record_failure(index, len(chunks[index]), exc, unit)
+                        degraded.append(index)
+                    else:
+                        # Liveness beacon: supervisors subscribe to this to
+                        # heartbeat a pool that is making progress (see
+                        # repro.runtime.supervisor.HeartbeatMonitor).
+                        log_event(
+                            "parallel.chunk_done",
+                            unit=unit,
+                            chunk=index,
+                            items=len(chunks[index]),
+                        )
+
+            if degraded:
+                # The in-parent fallback reads the *same* attached views
+                # the workers did: degradation must not silently
+                # reintroduce the copy cost the arena removed.
+                _install_state(
+                    arena.parent_state() if arena is not None
+                    else self._state
+                )
+                for index in sorted(degraded):
+                    results[index] = self._recompute(
+                        fn, chunks[index], unit, index
+                    )
+        finally:
+            if arena is not None:
+                arena.destroy()
 
         out: List[R] = []
         for chunk_result in results:

@@ -9,6 +9,7 @@ both must agree with the networkx oracle on seeded random graphs.
 from __future__ import annotations
 
 import json
+import os
 
 import networkx as nx
 import numpy as np
@@ -26,7 +27,12 @@ from repro.graph.csr import CSRGraph, all_sources_levels
 from repro.parallel import ParallelExecutor, worker_state
 from repro.selection import get_selector
 
-WORKER_COUNTS = (1, 2, 4)
+# The CI matrix pins a width per cell via REPRO_TEST_WORKERS; locally
+# the default set already covers serial, narrow, and wide pools.
+_ENV_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "0"))
+WORKER_COUNTS = tuple(
+    sorted({1, 2, 4} | ({_ENV_WORKERS} if _ENV_WORKERS > 1 else set()))
+)
 
 
 # ----------------------------------------------------------------------
